@@ -1,0 +1,141 @@
+// Ablation: DoS resilience. §III.E notes "a combination of TDMA and
+// Frequency Hopping Spread Spectrum (FHSS) may be used ... to help
+// prevent Denial-of-Service attacks" and frames MAC choice as a
+// performance/security trade-off. This bench quantifies it: a constant
+// jammer parked at the intersection, swept over duty cycles, against
+// (a) 802.11, (b) plain TDMA, and (c) TDMA+FHSS over 8 channels.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "app/jammer.hpp"
+#include "core/ebl_app.hpp"
+#include "core/report.hpp"
+#include "mac/mac_80211.hpp"
+#include "mac/mac_tdma.hpp"
+#include "mobility/platoon.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/fhss.hpp"
+#include "queue/drop_tail.hpp"
+#include "routing/aodv.hpp"
+#include "trace/delay_analyzer.hpp"
+#include "trace/trace_manager.hpp"
+
+using namespace eblnet;
+
+namespace {
+
+struct Result {
+  std::uint64_t delivered{0};
+  double avg_delay_s{0.0};
+  std::uint64_t collisions{0};
+};
+
+enum class Setup { k80211, kTdma, kTdmaFhss };
+
+const char* name(Setup s) {
+  switch (s) {
+    case Setup::k80211: return "802.11";
+    case Setup::kTdma: return "TDMA";
+    case Setup::kTdmaFhss: return "TDMA+FHSS";
+  }
+  return "?";
+}
+
+Result run(Setup setup, double duty) {
+  trace::TraceManager tracer;
+  net::Env env{3};
+  env.set_trace_sink(&tracer);
+  phy::Channel channel{env, std::make_shared<phy::TwoRayGround>()};
+
+  // One stopped platoon of three vehicles: the EBL hot path under attack.
+  mobility::Platoon platoon{env.scheduler(), 3, {0.0, 0.0}, {0.0, 1.0}, 5.0};
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
+  std::vector<net::Node*> node_ptrs;
+  std::vector<phy::WirelessPhy*> platoon_phys;
+
+  mac::TdmaParams tdma;
+  tdma.num_slots = 8;  // small frame keeps the runs short
+  for (net::NodeId id = 0; id < 3; ++id) {
+    auto node = std::make_unique<net::Node>(env, id);
+    node->set_mobility(platoon.vehicle(id));
+    auto* node_ptr = node.get();
+    phys.push_back(std::make_unique<phy::WirelessPhy>(
+        env, id, channel, [node_ptr] { return node_ptr->position(); }));
+    platoon_phys.push_back(phys.back().get());
+    if (setup == Setup::k80211) {
+      node->set_mac(std::make_unique<mac::Mac80211>(env, id, *phys.back(),
+                                                    std::make_unique<queue::PriQueue>()));
+    } else {
+      node->set_mac(std::make_unique<mac::MacTdma>(env, id, *phys.back(),
+                                                   std::make_unique<queue::PriQueue>(), tdma,
+                                                   static_cast<unsigned>(id)));
+    }
+    node->set_routing(std::make_unique<routing::Aodv>(env, id));
+    node_ptrs.push_back(node_ptr);
+    nodes.push_back(std::move(node));
+  }
+
+  core::EblConfig ebl_cfg;
+  ebl_cfg.packet_bytes = 500;
+  ebl_cfg.cbr_rate_bps = 200e3;
+  core::PlatoonEbl ebl{env, platoon, node_ptrs, ebl_cfg};
+
+  // The jammer's radio, 20 m off the road.
+  auto jam_node = std::make_unique<net::Node>(env, 99);
+  jam_node->set_mobility(std::make_shared<mobility::StaticMobility>(mobility::Vec2{20.0, 0.0}));
+  auto* jam_ptr = jam_node.get();
+  phys.push_back(std::make_unique<phy::WirelessPhy>(env, 99, channel,
+                                                    [jam_ptr] { return jam_ptr->position(); }));
+  std::unique_ptr<app::Jammer> jammer;
+  if (duty > 0.0) {
+    const sim::Time period = sim::Time::milliseconds(10);
+    jammer = std::make_unique<app::Jammer>(env, *phys.back(), period * duty, period);
+    jammer->start();
+  }
+
+  std::unique_ptr<phy::FhssHopper> hopper;
+  if (setup == Setup::kTdmaFhss) {
+    hopper = std::make_unique<phy::FhssHopper>(env, platoon_phys, 8,
+                                               sim::Time::milliseconds(50), 1234);
+    hopper->start();
+  }
+
+  env.scheduler().run_until(sim::Time::seconds(std::int64_t{20}));
+
+  Result r;
+  const trace::DelayAnalyzer delays{tracer.records()};
+  stats::Summary s;
+  for (const auto& d : delays.all()) s.add(d.delay_seconds());
+  r.delivered = s.count();
+  r.avg_delay_s = s.empty() ? -1.0 : s.mean();
+  for (std::size_t i = 0; i < 3; ++i) r.collisions += platoon_phys[i]->rx_collision_count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  core::report::print_header(std::cout,
+                             "Ablation — jamming resilience (stopped platoon, 20 s of EBL)");
+  std::cout << std::left << std::setw(12) << "setup" << std::right << std::setw(8) << "duty"
+            << std::setw(12) << "delivered" << std::setw(14) << "avg delay(s)" << std::setw(14)
+            << "collisions" << '\n';
+  for (const Setup setup : {Setup::k80211, Setup::kTdma, Setup::kTdmaFhss}) {
+    for (const double duty : {0.0, 0.3, 0.6, 0.9}) {
+      const Result r = run(setup, duty);
+      std::cout << std::left << std::setw(12) << name(setup) << std::right << std::fixed
+                << std::setprecision(1) << std::setw(8) << duty << std::setw(12) << r.delivered
+                << std::setprecision(4) << std::setw(14) << r.avg_delay_s << std::setw(14)
+                << r.collisions << '\n';
+    }
+  }
+  std::cout << "\nexpectation: 802.11 degrades sharply (carrier sense defers to the\n"
+               "jammer and frames collide); plain TDMA is corrupted in proportion to\n"
+               "the duty cycle; TDMA+FHSS retains most deliveries because the hop\n"
+               "sequence leaves the jammer's channel ~7/8 of the time.\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig. 8 (one-way delay vs packet ID, platoon 1, trial 2:
+// 500-byte packets over TDMA) and Fig. 9 (its transient state). Compared
+// against trial 1, the series is essentially unchanged — the paper's
+// packet-size finding.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/trial.hpp"
+
+using namespace eblnet;
+
+int main() {
+  const core::TrialResult r = core::run_trial(core::trial2_config(), "Trial 2");
+
+  core::report::print_delay_series(
+      std::cout, "Fig. 8 — Trial 2 one-way delay, platoon 1, middle vehicle", r.p1_middle);
+  core::report::print_delay_series(
+      std::cout, "Fig. 8 — Trial 2 one-way delay, platoon 1, trailing vehicle", r.p1_trailing);
+  core::report::print_delay_series(
+      std::cout, "Fig. 9 — Trial 2 transient-state one-way delay (first 50 packets)",
+      r.p1_middle, 50);
+  std::cout << "\nsteady-state one-way delay (packets >= 50): " << r.p1_steady_state_delay_s()
+            << " s\n";
+  return 0;
+}

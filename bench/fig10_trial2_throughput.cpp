@@ -1,0 +1,20 @@
+// Reproduces Fig. 10: throughput of the first vehicle platoon over time
+// for trial 2 (500-byte packets, TDMA). Roughly half of trial 1's level:
+// TDMA serves the same packet rate regardless of size.
+
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/trial.hpp"
+
+using namespace eblnet;
+
+int main() {
+  const core::TrialResult r = core::run_trial(core::trial2_config(), "Trial 2");
+  core::report::print_throughput_series(std::cout, "Fig. 10 — Trial 2 throughput, platoon 1",
+                                        r.p1_throughput);
+  core::report::print_summary_row(std::cout, "platoon 1 throughput", r.p1_throughput_summary(),
+                                  "Mbps");
+  core::report::print_confidence(std::cout, "confidence analysis", r.p1_throughput_ci, "Mbps");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Component micro-benchmarks (google-benchmark): event-queue throughput,
+// packet copying, AODV table operations, statistics ingestion, and
+// whole-scenario simulation rate. These bound how large a vehicular
+// configuration the simulator can handle — the paper's future-work axis.
+
+#include <benchmark/benchmark.h>
+
+#include "core/trial.hpp"
+#include "net/packet.hpp"
+#include "routing/dsdv.hpp"
+#include "routing/routing_table.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/summary.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace eblnet;
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_at(rng.uniform_time(sim::Time::zero(), sim::Time::seconds(std::int64_t{60})),
+                        [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  // Half of all events are cancelled before running — the MAC/TCP timer
+  // pattern.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(sched.schedule_at(sim::Time::microseconds(static_cast<std::int64_t>(i)), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) sched.cancel(ids[i]);
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(10000);
+
+void BM_PacketCopy(benchmark::State& state) {
+  net::Packet p;
+  p.uid = 7;
+  p.type = net::PacketType::kTcpData;
+  p.payload_bytes = 1000;
+  p.ip.emplace();
+  p.tcp.emplace();
+  p.mac.emplace();
+  for (auto _ : state) {
+    net::Packet copy = p;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_PacketCopy);
+
+void BM_AodvRouteLookup(benchmark::State& state) {
+  const auto n = static_cast<net::NodeId>(state.range(0));
+  routing::RoutingTable table;
+  for (net::NodeId i = 0; i < n; ++i) {
+    auto& e = table.get_or_create(i);
+    e.valid = true;
+    e.expires = sim::Time::seconds(std::int64_t{100});
+    e.next_hop = i;
+  }
+  net::NodeId key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup_valid(key, sim::Time::seconds(std::int64_t{1})));
+    key = (key + 1) % n;
+  }
+}
+BENCHMARK(BM_AodvRouteLookup)->Arg(16)->Arg(256);
+
+void BM_SummaryIngest(benchmark::State& state) {
+  sim::Rng rng{3};
+  std::vector<double> xs(10000);
+  for (auto& x : xs) x = rng.uniform();
+  for (auto _ : state) {
+    stats::Summary s;
+    for (const double x : xs) s.add(x);
+    benchmark::DoNotOptimize(s.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(xs.size()) * state.iterations());
+}
+BENCHMARK(BM_SummaryIngest);
+
+void BM_TraceFormatRecord(benchmark::State& state) {
+  net::TraceRecord r;
+  r.t = sim::Time::seconds(12.345678);
+  r.node = 3;
+  r.uid = 123456;
+  r.type = net::PacketType::kTcpData;
+  r.size = 1040;
+  r.ip_src = 0;
+  r.ip_dst = 5;
+  r.app_seq = 4242;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::format_record(r));
+  }
+}
+BENCHMARK(BM_TraceFormatRecord);
+
+/// Minimal MAC stub so DSDV can be driven without a radio.
+class NullMac final : public net::MacLayer {
+ public:
+  void enqueue(net::Packet p) override { last = std::move(p); }
+  void set_rx_callback(RxCallback cb) override { rx = std::move(cb); }
+  void set_tx_fail_callback(TxFailCallback) override {}
+  net::NodeId address() const override { return 0; }
+  bool detects_link_failures() const override { return true; }
+  std::vector<net::Packet> flush_next_hop(net::NodeId) override { return {}; }
+  RxCallback rx;
+  net::Packet last;
+};
+
+void BM_DsdvUpdateProcessing(benchmark::State& state) {
+  // Cost of digesting a full-table dump with N entries.
+  const auto n = static_cast<net::NodeId>(state.range(0));
+  net::Env env{1};
+  NullMac mac;
+  routing::Dsdv agent{env, 0};
+  agent.attach_mac(&mac);
+  mac.set_rx_callback([&](net::Packet p) { agent.route_input(std::move(p)); });
+
+  net::Packet update;
+  update.uid = 1;
+  update.type = net::PacketType::kDsdvUpdate;
+  update.ip.emplace();
+  update.ip->src = 1;
+  update.ip->dst = net::kBroadcastAddress;
+  net::DsdvUpdateHeader h;
+  for (net::NodeId d = 2; d < 2 + n; ++d) h.routes.push_back({d, 100, 1});
+  update.dsdv = std::move(h);
+  update.prev_hop = 1;
+  update.mac.emplace();
+  update.mac->src = 1;
+
+  for (auto _ : state) {
+    net::Packet copy = update;
+    mac.rx(std::move(copy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_DsdvUpdateProcessing)->Arg(16)->Arg(256);
+
+void BM_FullScenarioSecond(benchmark::State& state) {
+  // Wall-clock cost of one simulated second of the paper scenario.
+  const auto mac = static_cast<core::MacType>(state.range(0));
+  for (auto _ : state) {
+    core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
+    cfg.duration = sim::Time::seconds(std::int64_t{10});
+    cfg.enable_trace = false;
+    core::EblScenario scenario{cfg};
+    scenario.run();
+    benchmark::DoNotOptimize(scenario.env().scheduler().executed_count());
+  }
+}
+BENCHMARK(BM_FullScenarioSecond)
+    ->Arg(static_cast<int>(core::MacType::kTdma))
+    ->Arg(static_cast<int>(core::MacType::k80211))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Reproduces the per-vehicle one-way-delay statistics the paper reports
+// in the text of §III.B–§III.D: average / minimum / maximum one-way delay
+// for the middle and trailing vehicle of each platoon, for all three
+// trials, plus the transient/steady-state split visible in Figs. 5–14.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/trial.hpp"
+#include "stats/histogram.hpp"
+
+using namespace eblnet;
+using core::report::print_header;
+using core::report::print_summary_row;
+
+namespace {
+
+void print_percentiles(const std::vector<trace::DelaySample>& samples, const char* label) {
+  if (samples.empty()) return;
+  stats::Histogram h{0.0, 4.0, 4000};
+  for (const auto& s : samples) h.add(s.delay_seconds());
+  std::cout << "  " << label << " percentiles: p50=" << std::fixed << std::setprecision(4)
+            << h.quantile(0.5) << " s  p95=" << h.quantile(0.95) << " s  p99="
+            << h.quantile(0.99) << " s\n";
+}
+
+void print_trial(const core::TrialResult& r) {
+  print_header(std::cout, "One-way delay statistics — " + r.name + "  (" +
+                              std::to_string(r.config.packet_bytes) + " B, " +
+                              core::to_string(r.config.mac) + ")");
+  print_summary_row(std::cout, "platoon 1 / middle vehicle",
+                    trace::DelayAnalyzer::summarize(r.p1_middle), "s");
+  print_summary_row(std::cout, "platoon 1 / trailing vehicle",
+                    trace::DelayAnalyzer::summarize(r.p1_trailing), "s");
+  print_summary_row(std::cout, "platoon 2 / middle vehicle",
+                    trace::DelayAnalyzer::summarize(r.p2_middle), "s");
+  print_summary_row(std::cout, "platoon 2 / trailing vehicle",
+                    trace::DelayAnalyzer::summarize(r.p2_trailing), "s");
+  print_percentiles(r.p1_all(), "platoon 1");
+  print_percentiles(r.p2_all(), "platoon 2");
+  std::cout << "platoon 1 steady-state delay (packets >= 50): "
+            << r.p1_steady_state_delay_s() << " s\n";
+  std::cout << "platoon 1 transient length (MSER-5): " << r.p1_transient_end_mser()
+            << " packets (paper: \"approximately packet 50\")\n";
+  std::cout << "platoon 1 initial-packet delay: " << r.p1_initial_packet_delay_s << " s\n";
+  std::cout << "drops: ifq=" << r.ifq_drops << " phy_collisions=" << r.phy_collisions
+            << " mac_retry=" << r.mac_retry_drops << "\n";
+  std::cout << "frames radiated: data=" << r.data_frame_sends
+            << " routing_control=" << r.routing_control_sends << "\n";
+}
+
+}  // namespace
+
+int main() {
+  print_trial(core::run_trial(core::trial1_config(), "Trial 1"));
+  print_trial(core::run_trial(core::trial2_config(), "Trial 2"));
+  print_trial(core::run_trial(core::trial3_config(), "Trial 3"));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The paper's scenario, end to end, through the high-level API: two
+// three-vehicle platoons at an intersection running the Extended Brake
+// Lights application. Runs the default trial-1 configuration (or a MAC /
+// packet size given on the command line) and narrates what happened.
+//
+// Usage: ebl_intersection [tdma|80211] [packet_bytes]
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/safety.hpp"
+#include "core/trial.hpp"
+#include "trace/nam_export.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace eblnet;
+
+int main(int argc, char** argv) {
+  core::MacType mac = core::MacType::kTdma;
+  std::size_t packet_bytes = 1000;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "80211" || arg == "802.11") {
+      mac = core::MacType::k80211;
+    } else if (arg != "tdma") {
+      std::cerr << "usage: " << argv[0] << " [tdma|80211] [packet_bytes]\n";
+      return 1;
+    }
+  }
+  if (argc > 2) packet_bytes = static_cast<std::size_t>(std::atoi(argv[2]));
+
+  const core::ScenarioConfig cfg = core::make_trial_config(packet_bytes, mac);
+  std::cout << "=== Extended Brake Lights — intersection scenario ===\n"
+            << "MAC " << core::to_string(mac) << ", " << packet_bytes << "-byte packets, "
+            << cfg.speed_mps << " m/s, " << cfg.vehicle_gap_m << " m headway\n\n"
+            << "timeline:\n"
+            << "  t=0s      platoon 2 stopped at the intersection, communicating\n"
+            << "  t=" << cfg.platoon1_brake_at.to_seconds()
+            << "s      platoon 1 begins braking -> EBL communication starts\n"
+            << "  t=" << std::fixed << std::setprecision(2)
+            << cfg.platoon1_stop_time().to_seconds() << "s   platoon 1 stopped; platoon 2 "
+            << "departs -> its EBL communication stops\n"
+            << "  t=" << std::setprecision(0) << cfg.duration.to_seconds() << "s     end\n\n";
+
+  // Run the trial; on completion, export a Nam animation of the run (the
+  // paper's workflow launched nam.exe on the NS-2 trace).
+  const core::TrialResult r = core::run_trial(cfg, "example", [&](core::EblScenario& s) {
+    std::ofstream nam{"ebl_intersection.nam"};
+    std::vector<const mobility::MobilityModel*> models;
+    for (std::size_t i = 0; i < s.node_count(); ++i) models.push_back(s.node(i).mobility());
+    trace::export_nam(nam, models, s.trace().records(), cfg.duration);
+    std::ofstream tr{"ebl_intersection.tr"};
+    trace::write_trace(tr, s.trace().records());
+  });
+  std::cout << "(animation written to ebl_intersection.nam, trace to "
+               "ebl_intersection.tr — analyse it with `trace_analysis`)\n\n";
+
+  const auto p1 = r.p1_delay_summary();
+  std::cout << std::setprecision(4);
+  std::cout << "platoon 1 (braking platoon):\n"
+            << "  EBL messages delivered: " << r.p1_middle.size() << " to middle, "
+            << r.p1_trailing.size() << " to trailing vehicle\n"
+            << "  one-way delay: avg " << p1.mean() << " s, min " << p1.min() << " s, max "
+            << p1.max() << " s\n"
+            << "  throughput:    avg " << r.p1_throughput_ci.mean << " Mbps (95% CI half-width "
+            << r.p1_throughput_ci.half_width << ")\n";
+
+  core::StoppingAssessment safety{cfg.speed_mps, cfg.vehicle_gap_m,
+                                  r.p1_initial_packet_delay_s};
+  std::cout << "\nsafety assessment (first brake notification):\n"
+            << "  initial-packet delay " << safety.notification_delay_s << " s -> the trailing "
+            << "vehicle travels " << std::setprecision(2)
+            << safety.distance_during_notification() << " m (" << std::setprecision(1)
+            << safety.fraction_of_headway() * 100.0 << "% of the " << cfg.vehicle_gap_m
+            << " m separation) before hearing about the braking.\n"
+            << "  verdict: "
+            << (safety.fraction_of_headway() >= 1.0
+                    ? "the gap is consumed before notification — not viable for emergency "
+                      "braking at this headway."
+                    : "notification arrives with headway to spare.")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Four-way intersection — the "larger and more complex vehicular
+// configuration" the paper's conclusion calls for. Four three-vehicle
+// platoons approach the same intersection from N/S/E/W at staggered
+// times, all running EBL on one shared channel. Prints per-platoon delay
+// and throughput for both MACs, showing how each absorbs the 4x denser
+// radio neighbourhood.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/ebl_app.hpp"
+#include "core/scenario.hpp"  // core::MacType / to_string
+#include "mac/mac_80211.hpp"
+#include "mac/mac_tdma.hpp"
+#include "mobility/platoon.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/wireless_phy.hpp"
+#include "queue/drop_tail.hpp"
+#include "routing/aodv.hpp"
+#include "trace/delay_analyzer.hpp"
+#include "trace/trace_manager.hpp"
+
+using namespace eblnet;
+
+namespace {
+
+struct PlatoonStats {
+  stats::Summary delay;
+  std::uint64_t bytes{0};
+};
+
+void run(core::MacType mac) {
+  constexpr std::size_t kPlatoons = 4;
+  constexpr std::size_t kSize = 3;
+  constexpr double kSpeed = 22.352;
+  constexpr double kGap = 5.0;
+  constexpr double kDecel = 5.0;
+
+  trace::TraceManager tracer;
+  net::Env env{9};
+  env.set_trace_sink(&tracer);
+  phy::Channel channel{env, std::make_shared<phy::TwoRayGround>()};
+
+  // Approach headings: N, E, S, W; lanes offset so columns don't overlap.
+  const mobility::Vec2 headings[kPlatoons] = {{0, 1}, {1, 0}, {0, -1}, {-1, 0}};
+  const mobility::Vec2 stop_points[kPlatoons] = {{3, -8}, {-8, -3}, {-3, 8}, {8, 3}};
+
+  std::vector<std::unique_ptr<mobility::Platoon>> platoons;
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
+  std::vector<std::unique_ptr<core::PlatoonEbl>> apps;
+
+  mac::TdmaParams tdma;  // 64-slot default covers all 12 vehicles
+  core::EblConfig ebl_cfg;
+  ebl_cfg.packet_bytes = 1000;
+  ebl_cfg.cbr_rate_bps = 1.2e6;
+
+  net::NodeId next_id = 0;
+  for (std::size_t p = 0; p < kPlatoons; ++p) {
+    // Staggered arrivals: each platoon begins braking 2 s after the previous.
+    const double brake_at = 2.0 + 2.0 * static_cast<double>(p);
+    const double brake_dist = mobility::Vehicle::stopping_distance(kSpeed, kDecel);
+    const mobility::Vec2 start =
+        stop_points[p] - headings[p] * (kSpeed * brake_at + brake_dist);
+    auto platoon = std::make_unique<mobility::Platoon>(env.scheduler(), kSize, start,
+                                                       headings[p], kGap);
+    std::vector<net::Node*> members;
+    for (std::size_t v = 0; v < kSize; ++v) {
+      const net::NodeId id = next_id++;
+      auto node = std::make_unique<net::Node>(env, id);
+      node->set_mobility(platoon->vehicle(v));
+      auto* node_ptr = node.get();
+      phys.push_back(std::make_unique<phy::WirelessPhy>(
+          env, id, channel, [node_ptr] { return node_ptr->position(); }));
+      if (mac == core::MacType::kTdma) {
+        node->set_mac(std::make_unique<mac::MacTdma>(env, id, *phys.back(),
+                                                     std::make_unique<queue::PriQueue>(), tdma,
+                                                     static_cast<unsigned>(id)));
+      } else {
+        node->set_mac(std::make_unique<mac::Mac80211>(env, id, *phys.back(),
+                                                      std::make_unique<queue::PriQueue>()));
+      }
+      node->set_routing(std::make_unique<routing::Aodv>(env, id));
+      members.push_back(node_ptr);
+      nodes.push_back(std::move(node));
+    }
+    platoon->drive_and_stop_at(stop_points[p], kSpeed, kDecel);
+    apps.push_back(std::make_unique<core::PlatoonEbl>(
+        env, *platoon, members, ebl_cfg, static_cast<net::Port>(1000 + 100 * p)));
+    platoons.push_back(std::move(platoon));
+  }
+
+  env.scheduler().run_until(sim::Time::seconds(std::int64_t{40}));
+
+  const trace::DelayAnalyzer delays{tracer.records()};
+  std::cout << "\n--- " << core::to_string(mac) << " ---\n"
+            << std::left << std::setw(10) << "platoon" << std::right << std::setw(12)
+            << "messages" << std::setw(14) << "avg delay(s)" << std::setw(14) << "max delay(s)"
+            << std::setw(14) << "Mbytes rx" << '\n';
+  for (std::size_t p = 0; p < kPlatoons; ++p) {
+    const auto lead = static_cast<net::NodeId>(p * kSize);
+    stats::Summary s;
+    for (net::NodeId f = lead + 1; f < lead + kSize; ++f) {
+      for (const auto& d : delays.flow(lead, f)) s.add(d.delay_seconds());
+    }
+    std::cout << std::left << std::setw(10) << ("#" + std::to_string(p)) << std::right
+              << std::setw(12) << s.count() << std::fixed << std::setprecision(4)
+              << std::setw(14) << (s.empty() ? 0.0 : s.mean()) << std::setw(14)
+              << (s.empty() ? 0.0 : s.max()) << std::setprecision(2) << std::setw(14)
+              << static_cast<double>(apps[p]->total_sink_bytes()) / 1e6 << '\n';
+  }
+  std::uint64_t collisions = 0;
+  for (const auto& phy : phys) collisions += phy->rx_collision_count();
+  std::cout << "phy collisions across all radios: " << collisions << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Four platoons, one intersection, one channel ===\n"
+            << "12 vehicles, staggered arrivals every 2 s, EBL on all platoons\n";
+  run(core::MacType::kTdma);
+  run(core::MacType::k80211);
+  std::cout << "\nTDMA keeps its collision-free schedule (collisions stay 0) but every\n"
+               "platoon shares the same one-slot-per-node budget; 802.11 carries far\n"
+               "more traffic and resolves its contention with backoff + retries.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Highway emergency-braking chain — the motivating situation behind
+// Extended Brake Lights. A six-vehicle platoon cruises at 50 mph with
+// 15 m headway; the lead vehicle slams the brakes. We compare, per
+// follower, when the "brake!" information arrives
+//
+//   (a) with EBL: the radio notification measured from an actual
+//       simulation of the platoon (802.11, AODV, TCP), versus
+//   (b) without EBL: conventional brake lights, where each driver reacts
+//       to the vehicle directly ahead, so perception+reaction delays
+//       accumulate along the chain,
+//
+// and whether each follower stops in time.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/ebl_app.hpp"
+#include "core/safety.hpp"
+#include "mac/mac_80211.hpp"
+#include "mobility/platoon.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/wireless_phy.hpp"
+#include "queue/drop_tail.hpp"
+#include "routing/aodv.hpp"
+#include "trace/delay_analyzer.hpp"
+#include "trace/trace_manager.hpp"
+
+using namespace eblnet;
+
+int main() {
+  constexpr std::size_t kVehicles = 6;
+  constexpr double kSpeed = 22.352;    // 50 mph
+  constexpr double kHeadway = 15.0;    // m
+  constexpr double kDecel = 6.0;       // hard braking, m/s^2
+  constexpr double kDriverReaction = 0.75;  // perception + reaction, s
+  constexpr double kSystemReaction = 0.10;  // automated braking after EBL, s
+  const sim::Time kBrakeAt = sim::Time::seconds(std::int64_t{5});
+
+  // --- build the simulation ---
+  trace::TraceManager tracer;
+  net::Env env{7};
+  env.set_trace_sink(&tracer);
+  phy::Channel channel{env, std::make_shared<phy::TwoRayGround>()};
+
+  mobility::Platoon platoon{env.scheduler(), kVehicles, mobility::Vec2{0.0, 0.0},
+                            mobility::Vec2{1.0, 0.0}, kHeadway};
+
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
+  std::vector<net::Node*> node_ptrs;
+  for (net::NodeId id = 0; id < kVehicles; ++id) {
+    auto node = std::make_unique<net::Node>(env, id);
+    node->set_mobility(platoon.vehicle(id));
+    auto* node_ptr = node.get();
+    phys.push_back(std::make_unique<phy::WirelessPhy>(
+        env, id, channel, [node_ptr] { return node_ptr->position(); }));
+    node->set_mac(std::make_unique<mac::Mac80211>(env, id, *phys.back(),
+                                                  std::make_unique<queue::PriQueue>()));
+    node->set_routing(std::make_unique<routing::Aodv>(env, id));
+    node_ptrs.push_back(node_ptr);
+    nodes.push_back(std::move(node));
+  }
+
+  core::EblConfig ebl_cfg;
+  ebl_cfg.packet_bytes = 200;  // a brake-status message, not a bulk stream
+  ebl_cfg.cbr_rate_bps = 160e3;
+  core::PlatoonEbl ebl{env, platoon, node_ptrs, ebl_cfg};
+
+  platoon.cruise(kSpeed);
+  env.scheduler().schedule_at(kBrakeAt, [&] { platoon.brake(kDecel); });
+  env.scheduler().run_until(kBrakeAt + sim::Time::seconds(std::int64_t{10}));
+
+  // --- extract per-follower EBL notification times ---
+  const trace::DelayAnalyzer delays{tracer.records()};
+  std::cout << "=== Highway emergency braking: EBL vs conventional brake lights ===\n"
+            << kVehicles << " vehicles, " << kSpeed << " m/s, " << kHeadway
+            << " m headway, lead brakes at t=" << kBrakeAt.to_seconds() << " s\n\n"
+            << std::left << std::setw(10) << "vehicle" << std::right << std::setw(16)
+            << "EBL notify (s)" << std::setw(18) << "chain notify (s)" << std::setw(14)
+            << "EBL margin" << std::setw(14) << "chain margin" << '\n';
+
+  for (std::size_t i = 1; i < kVehicles; ++i) {
+    const auto flow = delays.flow(0, static_cast<net::NodeId>(i));
+    // Notification latency = first packet arriving after the brake event,
+    // relative to the brake instant.
+    double ebl_notify = -1.0;
+    for (const auto& d : flow) {
+      if (d.received >= kBrakeAt) {
+        ebl_notify = (d.received - kBrakeAt).to_seconds();
+        break;
+      }
+    }
+    // Conventional chain: each driver reacts to the predecessor's lights.
+    const double chain_notify = kDriverReaction * static_cast<double>(i);
+
+    // Follower i must shed the closing distance within i*headway of space
+    // to the point where vehicle 0 stopped (all brake at kDecel).
+    core::StoppingAssessment ebl_case{kSpeed, kHeadway * static_cast<double>(i), ebl_notify};
+    core::StoppingAssessment chain_case{kSpeed, kHeadway * static_cast<double>(i), 0.0};
+    const double ebl_margin = ebl_case.margin(kSystemReaction);
+    const double chain_margin = chain_case.margin(chain_notify);
+
+    std::cout << std::left << std::setw(10) << ("#" + std::to_string(i)) << std::right
+              << std::fixed << std::setprecision(3) << std::setw(16) << ebl_notify
+              << std::setw(18) << chain_notify << std::setprecision(2) << std::setw(12)
+              << ebl_margin << " m" << std::setw(12) << chain_margin << " m" << '\n';
+  }
+
+  std::cout << "\npositive margin = stops short of the vehicle ahead; negative = impact.\n"
+            << "EBL notifies the whole platoon at radio latency, while brake-light\n"
+            << "chains accumulate a driver reaction per hop — the trailing vehicles are\n"
+            << "where EBL pays off.\n";
+  return 0;
+}

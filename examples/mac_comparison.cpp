@@ -1,0 +1,42 @@
+// MAC comparison — the decision the paper's conclusion is about. Runs
+// the intersection scenario across the (MAC x packet size) grid and
+// prints the metrics a protocol designer would weigh, including the
+// safety verdict at 50 mph / 5 m headway. Demonstrates driving the
+// high-level trial API programmatically.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/safety.hpp"
+#include "core/trial.hpp"
+
+using namespace eblnet;
+
+int main() {
+  std::cout << "=== TDMA vs 802.11 across packet sizes (intersection scenario) ===\n\n"
+            << std::left << std::setw(9) << "MAC" << std::right << std::setw(8) << "bytes"
+            << std::setw(13) << "delay(s)" << std::setw(13) << "tput(Mbps)" << std::setw(14)
+            << "notify(s)" << std::setw(12) << "%headway" << std::setw(16) << "verdict"
+            << '\n';
+
+  for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
+    for (const std::size_t bytes : {500, 1000}) {
+      core::ScenarioConfig cfg = core::make_trial_config(bytes, mac);
+      cfg.duration = sim::Time::seconds(std::int64_t{32});
+      const core::TrialResult r = core::run_trial(cfg);
+      core::StoppingAssessment a{cfg.speed_mps, cfg.vehicle_gap_m,
+                                 r.p1_initial_packet_delay_s};
+      std::cout << std::left << std::setw(9) << core::to_string(mac) << std::right
+                << std::setw(8) << bytes << std::fixed << std::setprecision(4) << std::setw(13)
+                << r.p1_delay_summary().mean() << std::setw(13) << r.p1_throughput_ci.mean
+                << std::setw(14) << a.notification_delay_s << std::setprecision(1)
+                << std::setw(11) << a.fraction_of_headway() * 100.0 << '%' << std::setw(16)
+                << (a.fraction_of_headway() >= 1.0 ? "gap consumed" : "in time") << '\n';
+    }
+  }
+
+  std::cout << "\nThe paper's conclusion in one table: 802.11 delivers the brake\n"
+            << "notification with an order of magnitude more headway margin and\n"
+            << "higher throughput; packet size moves throughput, not delay.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Multi-hop brake-warning dissemination down a long highway column — the
+// natural escalation of Extended Brake Lights past a single radio hop.
+//
+// Twenty vehicles span ~2 km at 100 m spacing (the radio reaches ~250 m),
+// so a warning from the lead must be relayed. WarningFlood rebroadcasts
+// each warning once per node with a small jitter; we print, per vehicle,
+// the hop count and the propagation latency of the lead's emergency
+// warning, and compare it with the driver-reaction chain of conventional
+// brake lights.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/flood.hpp"
+#include "mac/mac_80211.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/wireless_phy.hpp"
+#include "queue/drop_tail.hpp"
+#include "routing/static_routing.hpp"
+
+using namespace eblnet;
+
+int main() {
+  constexpr std::size_t kVehicles = 20;
+  constexpr double kSpacing = 100.0;
+  constexpr double kDriverReaction = 0.75;  // s per conventional hop
+
+  net::Env env{5};
+  phy::Channel channel{env, std::make_shared<phy::TwoRayGround>()};
+
+  std::vector<std::unique_ptr<net::Node>> nodes;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
+  std::vector<std::unique_ptr<core::WarningFlood>> floods;
+  std::vector<double> warned_at(kVehicles, -1.0);
+  std::vector<unsigned> hops(kVehicles, 0);
+
+  core::FloodParams fp;
+  fp.hop_limit = 16;
+  for (net::NodeId id = 0; id < kVehicles; ++id) {
+    auto node = std::make_unique<net::Node>(env, id);
+    node->set_mobility(std::make_shared<mobility::StaticMobility>(
+        mobility::Vec2{kSpacing * static_cast<double>(id), 0.0}));
+    auto* node_ptr = node.get();
+    phys.push_back(std::make_unique<phy::WirelessPhy>(
+        env, id, channel, [node_ptr] { return node_ptr->position(); }));
+    node->set_mac(std::make_unique<mac::Mac80211>(env, id, *phys.back(),
+                                                  std::make_unique<queue::PriQueue>()));
+    node->set_routing(std::make_unique<routing::StaticRouting>(env, id, true));
+    floods.push_back(std::make_unique<core::WarningFlood>(env, *node, 7000, fp));
+    nodes.push_back(std::move(node));
+  }
+
+  const sim::Time brake_at = sim::Time::seconds(std::int64_t{1});
+  for (std::size_t i = 1; i < kVehicles; ++i) {
+    floods[i]->set_on_warning([&, i](std::uint64_t, unsigned h) {
+      warned_at[i] = (env.now() - brake_at).to_seconds();
+      hops[i] = h;
+    });
+  }
+  env.scheduler().schedule_at(brake_at, [&] { floods[0]->originate(1); });
+  env.scheduler().run_until(sim::Time::seconds(std::int64_t{10}));
+
+  std::cout << "=== Multi-hop EBL warning over " << kVehicles << " vehicles ("
+            << kSpacing * (kVehicles - 1) / 1000.0 << " km column) ===\n\n"
+            << std::left << std::setw(10) << "vehicle" << std::right << std::setw(8) << "hops"
+            << std::setw(18) << "EBL latency (s)" << std::setw(22) << "brake-light chain (s)"
+            << '\n';
+  for (std::size_t i = 1; i < kVehicles; ++i) {
+    std::cout << std::left << std::setw(10) << ("#" + std::to_string(i)) << std::right
+              << std::setw(8) << hops[i] << std::fixed << std::setprecision(4) << std::setw(18)
+              << warned_at[i] << std::setprecision(2) << std::setw(22)
+              << kDriverReaction * static_cast<double>(i) << '\n';
+  }
+
+  std::uint64_t total_rebroadcasts = 0;
+  for (const auto& f : floods) total_rebroadcasts += f->rebroadcasts();
+  std::cout << "\nflood cost: " << total_rebroadcasts
+            << " rebroadcasts for one warning across the column\n"
+            << "2 km of vehicles learn of the braking in milliseconds; the\n"
+            << "conventional chain needs ~" << kDriverReaction * (kVehicles - 1)
+            << " s to reach the tail.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Reproduce every figure and table of the paper from a clean tree:
+# configure, build, test, run each bench into results/, and (when gnuplot
+# is available) render the delay/throughput figures as PNGs.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=build
+RESULTS=results
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p "$RESULTS"
+for bench in "$BUILD"/bench/*; do
+  name=$(basename "$bench")
+  case "$name" in
+    CMakeFiles|CTestTestfile.cmake|cmake_install.cmake) continue ;;
+  esac
+  [ -x "$bench" ] || continue
+  echo "== $name =="
+  "$bench" > "$RESULTS/$name.txt"
+done
+
+# Extract the figure series into gnuplot-friendly .dat files.
+extract_series() {
+  # $1: input txt, $2: output dat, $3: first data-column header token
+  awk -v start="$3" '
+    $1 == start { inblock = 1; next }
+    inblock && NF >= 2 && $1 ~ /^[0-9]/ { print $1, $2; next }
+    inblock && $1 !~ /^[0-9]/ { inblock = 0 }
+  ' "$RESULTS/$1" > "$RESULTS/$2"
+}
+
+extract_series fig05_06_trial1_delay.txt fig05_trial1_delay.dat packet_id
+extract_series fig07_trial1_throughput.txt fig07_trial1_throughput.dat time_s
+extract_series fig08_09_trial2_delay.txt fig08_trial2_delay.dat packet_id
+extract_series fig10_trial2_throughput.txt fig10_trial2_throughput.dat time_s
+extract_series fig11_14_trial3_delay.txt fig11_trial3_delay.dat packet_id
+extract_series fig15_trial3_throughput.txt fig15_trial3_throughput.dat time_s
+
+if command -v gnuplot > /dev/null 2>&1; then
+  for f in fig05_trial1_delay fig08_trial2_delay fig11_trial3_delay; do
+    gnuplot -e "set term png size 800,500; set output '$RESULTS/$f.png'; \
+      set xlabel 'packet id'; set ylabel 'one-way delay (s)'; \
+      plot '$RESULTS/$f.dat' with points pt 7 ps 0.4 title '$f'"
+  done
+  for f in fig07_trial1_throughput fig10_trial2_throughput fig15_trial3_throughput; do
+    gnuplot -e "set term png size 800,500; set output '$RESULTS/$f.png'; \
+      set xlabel 'time (s)'; set ylabel 'throughput (Mbps)'; \
+      plot '$RESULTS/$f.dat' with lines title '$f'"
+  done
+  echo "figures rendered to $RESULTS/*.png"
+else
+  echo "gnuplot not found: series left as $RESULTS/*.dat"
+fi
+
+echo "done; outputs in $RESULTS/"

@@ -1,0 +1,41 @@
+#include "app/jammer.hpp"
+
+#include <stdexcept>
+
+namespace eblnet::app {
+
+Jammer::Jammer(net::Env& env, phy::WirelessPhy& phy, sim::Time burst, sim::Time period)
+    : env_{env}, phy_{phy}, burst_{burst}, period_{period},
+      timer_{env.scheduler(), [this] { tick(); }} {
+  if (burst <= sim::Time::zero()) throw std::invalid_argument{"Jammer: burst must be > 0"};
+  if (period < burst) throw std::invalid_argument{"Jammer: period must cover the burst"};
+}
+
+void Jammer::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void Jammer::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void Jammer::tick() {
+  if (!running_) return;
+  if (!phy_.transmitting()) {
+    net::Packet noise;
+    noise.uid = env_.alloc_uid();
+    noise.type = net::PacketType::kNoise;
+    noise.created = env_.now();
+    noise.mac.emplace();
+    noise.mac->src = phy_.owner();
+    noise.mac->dst = net::kBroadcastAddress;
+    ++bursts_;
+    phy_.transmit(std::move(noise), burst_);
+  }
+  timer_.schedule_in(period_);
+}
+
+}  // namespace eblnet::app

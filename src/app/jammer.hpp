@@ -1,0 +1,39 @@
+#pragma once
+
+#include "net/env.hpp"
+#include "phy/wireless_phy.hpp"
+#include "sim/timer.hpp"
+
+namespace eblnet::app {
+
+/// A constant jammer for DoS experiments (the attack class the paper's
+/// §III.E security discussion weighs TDMA+FHSS against). The jammer
+/// drives its radio directly — no carrier sense, no MAC — emitting noise
+/// bursts of `burst` length every `period`, i.e. a duty cycle of
+/// burst/period on its (fixed) channel.
+///
+/// This tool exists for the adversarial benches and tests in this
+/// repository; it only transmits inside the simulator.
+class Jammer {
+ public:
+  Jammer(net::Env& env, phy::WirelessPhy& phy, sim::Time burst, sim::Time period);
+
+  void start();
+  void stop();
+
+  double duty_cycle() const noexcept { return burst_.to_seconds() / period_.to_seconds(); }
+  std::uint64_t bursts_sent() const noexcept { return bursts_; }
+
+ private:
+  void tick();
+
+  net::Env& env_;
+  phy::WirelessPhy& phy_;
+  sim::Time burst_;
+  sim::Time period_;
+  bool running_{false};
+  std::uint64_t bursts_{0};
+  sim::Timer timer_;
+};
+
+}  // namespace eblnet::app

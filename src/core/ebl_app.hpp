@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/traffic.hpp"
+#include "mobility/platoon.hpp"
+#include "net/node.hpp"
+#include "transport/tcp_sender.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace eblnet::core {
+
+/// EBL traffic parameters.
+struct EblConfig {
+  /// Application payload per EBL message (the paper's variable parameter:
+  /// 500 or 1000 bytes).
+  std::size_t packet_bytes{1000};
+  /// Offered CBR rate per follower link, bits/second. Calibrated so the
+  /// two-link total (2.4 Mb/s) stays below 802.11's service capacity but
+  /// far above TDMA's one-packet-per-frame service rate, which is what
+  /// produces the paper's contrast between the two MACs.
+  double cbr_rate_bps{1.2e6};
+  /// TCP parameters for the EBL links (packet_size is overridden by
+  /// `packet_bytes`). The calibrated 5-packet window bounds the standing
+  /// queue when the MAC is the bottleneck: five packets in flight over a
+  /// 64-slot TDMA frame yields the paper's ~1 s steady-state one-way
+  /// delay. See bench/ablation_tcp_window for the delay-vs-window sweep.
+  transport::TcpParams tcp = [] {
+    transport::TcpParams p;
+    p.max_window = 5.0;
+    p.initial_ssthresh = 5.0;
+    return p;
+  }();
+  /// Receiver-side options for the follower sinks (delayed ACKs etc.).
+  transport::TcpSinkParams sink{};
+};
+
+/// One Extended-Brake-Lights stream: brake-status messages from the lead
+/// vehicle to a single follower, carried as CBR over a TCP connection
+/// (lead-side TcpSender, follower-side TcpSink).
+class EblLink {
+ public:
+  EblLink(net::Env& env, net::Node& lead, net::Node& follower, net::Port lead_port,
+          net::Port follower_port, const EblConfig& cfg);
+
+  void start() { feeder_.start(); }
+  void stop() {
+    feeder_.stop();
+    sender_.truncate_backlog();
+  }
+  bool running() const noexcept { return feeder_.running(); }
+
+  const transport::TcpSink& sink() const noexcept { return sink_; }
+  /// Mutable access for composition (e.g. attaching an EblBrakeReactor).
+  transport::TcpSink& mutable_sink() noexcept { return sink_; }
+  const transport::TcpSender& sender() const noexcept { return sender_; }
+  net::NodeId follower_id() const noexcept { return follower_.id(); }
+
+ private:
+  net::Node& follower_;
+  transport::TcpSender sender_;
+  transport::TcpSink sink_;
+  app::TcpCbrFeeder feeder_;
+};
+
+/// The Extended Brake Lights application for a whole platoon: the lead
+/// vehicle streams brake-status messages to every follower, and — per the
+/// paper's rule — "communication between the vehicles occurs only when
+/// the vehicles are braking or stopped". The class subscribes to the lead
+/// vehicle's drive state and starts/stops every link on the
+/// cruising/braking boundary.
+class PlatoonEbl {
+ public:
+  /// `nodes[i]` must be the network node of `platoon.vehicle(i)`.
+  PlatoonEbl(net::Env& env, mobility::Platoon& platoon, const std::vector<net::Node*>& nodes,
+             EblConfig cfg, net::Port base_port = 1000);
+
+  bool communicating() const;
+
+  /// Links in follower order: link(0) targets vehicle 1 (middle), etc.
+  std::size_t link_count() const noexcept { return links_.size(); }
+  const EblLink& link(std::size_t i) const { return *links_.at(i); }
+  EblLink& mutable_link(std::size_t i) { return *links_.at(i); }
+
+  /// Sum of every follower sink's byte counter — the quantity the
+  /// platoon-level throughput monitor samples.
+  std::uint64_t total_sink_bytes() const;
+
+ private:
+  void on_lead_state(mobility::DriveState s);
+
+  std::vector<std::unique_ptr<EblLink>> links_;
+};
+
+}  // namespace eblnet::core

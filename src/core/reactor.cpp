@@ -1,0 +1,76 @@
+#include "core/reactor.hpp"
+
+#include <stdexcept>
+
+namespace eblnet::core {
+
+EblBrakeReactor::EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
+                                 std::shared_ptr<mobility::Vehicle> vehicle, double decel,
+                                 sim::Time reaction)
+    : env_{env},
+      vehicle_{std::move(vehicle)},
+      decel_{decel},
+      reaction_{reaction},
+      actuate_timer_{env.scheduler(), [this] {
+                       braked_at_ = env_.now();
+                       vehicle_->brake(decel_);
+                     }} {
+  if (!vehicle_) throw std::invalid_argument{"EblBrakeReactor: vehicle required"};
+  if (decel <= 0.0) throw std::invalid_argument{"EblBrakeReactor: decel must be > 0"};
+  sink.set_data_callback([this](const net::Packet&) { on_message(); });
+}
+
+void EblBrakeReactor::on_message() {
+  if (triggered_) return;
+  triggered_ = true;
+  notified_at_ = env_.now();
+  actuate_timer_.schedule_in(reaction_);
+}
+
+void EblBrakeReactor::reset() {
+  triggered_ = false;
+  actuate_timer_.cancel();
+}
+
+CollisionMonitor::CollisionMonitor(net::Env& env,
+                                   std::vector<std::shared_ptr<mobility::Vehicle>> column,
+                                   double min_gap, sim::Time sample_interval)
+    : env_{env},
+      column_{std::move(column)},
+      min_gap_{min_gap},
+      interval_{sample_interval},
+      timer_{env.scheduler(), [this] { sample(); }} {
+  if (column_.size() < 2) throw std::invalid_argument{"CollisionMonitor: need >= 2 vehicles"};
+  if (sample_interval <= sim::Time::zero())
+    throw std::invalid_argument{"CollisionMonitor: sample interval must be > 0"};
+}
+
+void CollisionMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  timer_.schedule_in(interval_);
+}
+
+void CollisionMonitor::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void CollisionMonitor::sample() {
+  if (!running_ || collided_) return;
+  const sim::Time now = env_.now();
+  for (std::size_t i = 1; i < column_.size(); ++i) {
+    const double gap =
+        mobility::distance(column_[i - 1]->position_at(now), column_[i]->position_at(now));
+    if (gap < min_observed_gap_) min_observed_gap_ = gap;
+    if (gap <= min_gap_) {
+      collided_ = true;
+      collision_time_ = now;
+      follower_ = i;
+      return;  // stop sampling: the episode is decided
+    }
+  }
+  timer_.schedule_in(interval_);
+}
+
+}  // namespace eblnet::core

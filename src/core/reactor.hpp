@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+
+#include "mobility/vehicle.hpp"
+#include "net/env.hpp"
+#include "sim/timer.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace eblnet::core {
+
+/// Closes the control loop the paper only analyses on paper: when the
+/// first EBL message reaches a follower, the follower's (automated)
+/// braking system actually brakes its vehicle after a fixed actuation
+/// delay. Combined with CollisionMonitor this turns the §III.E
+/// stopping-distance argument into an executable experiment.
+class EblBrakeReactor {
+ public:
+  /// Reacts to brake messages arriving at `sink` by braking `vehicle` at
+  /// `decel` after `reaction` (perception/actuation latency).
+  EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
+                  std::shared_ptr<mobility::Vehicle> vehicle, double decel,
+                  sim::Time reaction);
+
+  bool triggered() const noexcept { return triggered_; }
+  /// When the first brake message arrived (valid once triggered).
+  sim::Time notified_at() const noexcept { return notified_at_; }
+  /// When the brakes actually engaged (valid once the timer fired).
+  sim::Time braked_at() const noexcept { return braked_at_; }
+
+  /// Re-arm for a new braking episode (e.g. after the platoon resumes).
+  void reset();
+
+ private:
+  void on_message();
+
+  net::Env& env_;
+  std::shared_ptr<mobility::Vehicle> vehicle_;
+  double decel_;
+  sim::Time reaction_;
+  bool triggered_{false};
+  sim::Time notified_at_{};
+  sim::Time braked_at_{};
+  sim::Timer actuate_timer_;
+};
+
+/// Watches an ordered column of vehicles and reports the first time any
+/// follower's position passes within `min_gap` of its predecessor —
+/// i.e. a (near-)collision. Closed-form kinematics make exact checking
+/// cheap: the monitor samples at a fixed interval much smaller than any
+/// braking time constant.
+class CollisionMonitor {
+ public:
+  CollisionMonitor(net::Env& env, std::vector<std::shared_ptr<mobility::Vehicle>> column,
+                   double min_gap, sim::Time sample_interval = sim::Time::milliseconds(10));
+
+  void start();
+  void stop();
+
+  bool collided() const noexcept { return collided_; }
+  sim::Time collision_time() const noexcept { return collision_time_; }
+  /// Index of the trailing vehicle in the offending pair (valid if collided).
+  std::size_t collision_follower() const noexcept { return follower_; }
+  /// Smallest gap observed so far between any adjacent pair (metres).
+  double min_observed_gap() const noexcept { return min_observed_gap_; }
+
+ private:
+  void sample();
+
+  net::Env& env_;
+  std::vector<std::shared_ptr<mobility::Vehicle>> column_;
+  double min_gap_;
+  sim::Time interval_;
+  bool running_{false};
+  bool collided_{false};
+  sim::Time collision_time_{};
+  std::size_t follower_{0};
+  double min_observed_gap_{1e300};
+  sim::Timer timer_;
+};
+
+}  // namespace eblnet::core

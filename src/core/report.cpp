@@ -1,0 +1,56 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace eblnet::core::report {
+
+void print_header(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n' << title << '\n' << std::string(72, '=') << '\n';
+}
+
+void print_delay_series(std::ostream& os, const std::string& title,
+                        const std::vector<trace::DelaySample>& samples, std::size_t max_points) {
+  print_header(os, title);
+  os << "packet_id  delay_s\n";
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (n++ >= max_points) break;
+    os << std::setw(9) << s.seq << "  " << std::fixed << std::setprecision(6)
+       << s.delay_seconds() << '\n';
+  }
+  os << "(" << std::min(samples.size(), max_points) << " of " << samples.size()
+     << " packets shown)\n";
+}
+
+void print_throughput_series(std::ostream& os, const std::string& title,
+                             const stats::TimeSeries& series) {
+  print_header(os, title);
+  os << "time_s  mbps\n";
+  for (const auto& p : series.points()) {
+    os << std::fixed << std::setprecision(1) << std::setw(6) << p.t.to_seconds() << "  "
+       << std::setprecision(4) << p.value << '\n';
+  }
+}
+
+void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
+                       const std::string& unit) {
+  if (s.empty()) {
+    os << std::left << std::setw(34) << label << " (no samples)\n";
+    return;
+  }
+  os << std::left << std::setw(34) << label << std::right << std::fixed << std::setprecision(4)
+     << "  avg=" << s.mean() << ' ' << unit << "  min=" << s.min() << ' ' << unit
+     << "  max=" << s.max() << ' ' << unit << "  n=" << s.count() << '\n';
+}
+
+void print_confidence(std::ostream& os, const std::string& label,
+                      const stats::ConfidenceInterval& ci, const std::string& unit) {
+  os << label << ": the actual average is within " << std::fixed << std::setprecision(4)
+     << ci.half_width << ' ' << unit << " of the observed " << ci.mean << ' ' << unit << ", with "
+     << std::setprecision(0) << ci.confidence * 100.0 << "% confidence and "
+     << std::setprecision(1) << ci.relative_precision() * 100.0 << "% relative precision ("
+     << ci.samples << " batch samples)\n";
+}
+
+}  // namespace eblnet::core::report

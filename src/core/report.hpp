@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+#include "stats/time_series.hpp"
+#include "trace/delay_analyzer.hpp"
+
+namespace eblnet::core {
+
+/// Plain-text rendering helpers shared by the bench binaries: each bench
+/// prints the same rows/series the paper's figure or table shows.
+namespace report {
+
+/// "packet_id delay_s" rows, like the paper's delay-vs-packet-ID figures.
+void print_delay_series(std::ostream& os, const std::string& title,
+                        const std::vector<trace::DelaySample>& samples,
+                        std::size_t max_points = SIZE_MAX);
+
+/// "time_s mbps" rows, like the paper's throughput-vs-time figures.
+void print_throughput_series(std::ostream& os, const std::string& title,
+                             const stats::TimeSeries& series);
+
+/// One "avg/min/max" row (the per-vehicle statistics given in the text).
+void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
+                       const std::string& unit);
+
+/// The paper's confidence sentence: half-width, level, relative precision.
+void print_confidence(std::ostream& os, const std::string& label,
+                      const stats::ConfidenceInterval& ci, const std::string& unit);
+
+void print_header(std::ostream& os, const std::string& title);
+
+}  // namespace report
+}  // namespace eblnet::core

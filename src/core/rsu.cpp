@@ -1,0 +1,24 @@
+#include "core/rsu.hpp"
+
+namespace eblnet::core {
+
+RoadsideUnit::RoadsideUnit(net::Env& env, net::Node& node, net::Port port,
+                           std::size_t payload_bytes, sim::Time interval)
+    : node_{node},
+      udp_{node, static_cast<net::Port>(port + 10000)},  // source port; beacons go to `port`
+      beacons_{env, udp_, payload_bytes, interval} {
+  udp_.connect(net::kBroadcastAddress, port);
+}
+
+WarningReceiver::WarningReceiver(net::Node& node, net::Port port)
+    : node_{node}, udp_{node, port} {
+  udp_.set_recv_callback([this](const net::Packet&) {
+    if (warned_) return;
+    warned_ = true;
+    warned_at_ = node_.env().now();
+    position_ = node_.position();
+    if (on_first_) on_first_();
+  });
+}
+
+}  // namespace eblnet::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+
+#include "app/traffic.hpp"
+#include "net/node.hpp"
+#include "transport/udp.hpp"
+
+namespace eblnet::core {
+
+/// A roadside unit broadcasting warning beacons — the
+/// vehicle-to-infrastructure half of the CAMP/VSCC scenario family the
+/// paper's introduction lists (Curve Speed Warning, Traffic Signal
+/// Violation Warning). Beacons are UDP broadcasts: every vehicle whose
+/// radio can decode them is "warned".
+class RoadsideUnit {
+ public:
+  RoadsideUnit(net::Env& env, net::Node& node, net::Port port, std::size_t payload_bytes,
+               sim::Time interval);
+
+  void start() { beacons_.start(); }
+  void stop() { beacons_.stop(); }
+
+  std::uint64_t beacons_sent() const noexcept { return udp_.packets_sent(); }
+  net::NodeId node_id() const noexcept { return node_.id(); }
+
+ private:
+  net::Node& node_;
+  transport::UdpAgent udp_;
+  app::CbrSource beacons_;
+};
+
+/// Vehicle-side receiver for RSU beacons: records when the first warning
+/// arrived and where the vehicle was at that moment, which is what a
+/// curve-speed/TSV warning evaluation needs (warning distance -> time
+/// available to slow down).
+class WarningReceiver {
+ public:
+  WarningReceiver(net::Node& node, net::Port port);
+
+  bool warned() const noexcept { return warned_; }
+  sim::Time warned_at() const noexcept { return warned_at_; }
+  mobility::Vec2 position_at_warning() const noexcept { return position_; }
+  std::uint64_t beacons_received() const noexcept { return udp_.packets_received(); }
+
+  /// Notification hook for applications (e.g. trigger braking).
+  void set_on_first_warning(std::function<void()> cb) { on_first_ = std::move(cb); }
+
+ private:
+  net::Node& node_;
+  transport::UdpAgent udp_;
+  bool warned_{false};
+  sim::Time warned_at_{};
+  mobility::Vec2 position_{};
+  std::function<void()> on_first_;
+};
+
+}  // namespace eblnet::core

@@ -1,0 +1,47 @@
+#pragma once
+
+namespace eblnet::core {
+
+/// The paper's stopping-distance feasibility model (§III.E): how far a
+/// trailing vehicle travels before the EBL notification arrives, as a
+/// fraction of the inter-vehicle headway, and whether a same-rate
+/// follow-the-leader stop avoids a collision.
+struct StoppingAssessment {
+  double speed_mps{22.352};          ///< 50 mph
+  double headway_m{5.0};             ///< inter-vehicle separation
+  double notification_delay_s{0.0};  ///< one-way delay of the initial EBL packet
+
+  /// Distance covered at full speed while the notification is in flight.
+  double distance_during_notification() const noexcept {
+    return speed_mps * notification_delay_s;
+  }
+
+  /// The paper's headline number: notification distance as a fraction of
+  /// the headway (1.0 == the whole gap is consumed before notice).
+  double fraction_of_headway() const noexcept {
+    return distance_during_notification() / headway_m;
+  }
+
+  /// If both vehicles brake at the same deceleration, the gap shrinks by
+  /// exactly the distance the follower covers during its total reaction
+  /// lag (network delay + driver/system reaction). Collision is avoided
+  /// iff that closing distance stays below the headway.
+  double closing_distance(double reaction_s) const noexcept {
+    return speed_mps * (notification_delay_s + reaction_s);
+  }
+  bool collision_avoided(double reaction_s) const noexcept {
+    return closing_distance(reaction_s) < headway_m;
+  }
+
+  /// Headroom (m) left after the stop; negative means impact depth.
+  double margin(double reaction_s) const noexcept {
+    return headway_m - closing_distance(reaction_s);
+  }
+
+  /// Maximum network delay tolerable for a given reaction time.
+  double max_tolerable_delay(double reaction_s) const noexcept {
+    return headway_m / speed_mps - reaction_s;
+  }
+};
+
+}  // namespace eblnet::core

@@ -1,0 +1,163 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+#include "queue/drop_tail.hpp"
+#include "routing/static_routing.hpp"
+
+namespace eblnet::core {
+
+const char* to_string(MacType m) noexcept {
+  switch (m) {
+    case MacType::kTdma: return "TDMA";
+    case MacType::k80211: return "802.11";
+  }
+  return "?";
+}
+
+const char* to_string(RoutingType r) noexcept {
+  switch (r) {
+    case RoutingType::kAodv: return "AODV";
+    case RoutingType::kDsdv: return "DSDV";
+    case RoutingType::kStatic: return "static";
+  }
+  return "?";
+}
+
+routing::Aodv& EblScenario::aodv(std::size_t i) {
+  if (config_.routing != RoutingType::kAodv)
+    throw std::logic_error{"EblScenario: scenario is not running AODV"};
+  return *aodvs_.at(i);
+}
+
+EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, env_{config_.seed} {
+  if (config_.platoon_size < 2)
+    throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
+  if (config_.enable_trace) env_.set_trace_sink(&trace_);
+  propagation_ = std::make_shared<phy::TwoRayGround>();
+  channel_ = std::make_unique<phy::Channel>(env_, propagation_);
+  build_mobility();
+  build_nodes();
+  build_traffic();
+}
+
+EblScenario::~EblScenario() = default;
+
+void EblScenario::build_mobility() {
+  const double gap = config_.vehicle_gap_m;
+  const double v = config_.speed_mps;
+  const double a = config_.decel_mps2;
+  const std::size_t n = config_.platoon_size;
+
+  // Platoon 1 approaches the intersection (origin) from the south so that
+  // braking starts exactly at platoon1_brake_at and the lead stops at the
+  // origin.
+  const double cruise_dist = v * config_.platoon1_brake_at.to_seconds();
+  const double brake_dist = mobility::Vehicle::stopping_distance(v, a);
+  const mobility::Vec2 p1_start{0.0, -(cruise_dist + brake_dist)};
+  platoon1_ = std::make_unique<mobility::Platoon>(env_.scheduler(), n, p1_start,
+                                                  mobility::Vec2{0.0, 1.0}, gap);
+  platoon1_->drive_and_stop_at(mobility::Vec2{0.0, 0.0}, v, a);
+
+  // Platoon 2 waits on the cross street just west of the intersection and
+  // departs east at platoon2_depart.
+  platoon2_ = std::make_unique<mobility::Platoon>(env_.scheduler(), n,
+                                                  mobility::Vec2{-3.0, 0.0},
+                                                  mobility::Vec2{1.0, 0.0}, gap);
+  env_.scheduler().schedule_at(config_.resolved_platoon2_depart(),
+                               [this, v] { platoon2_->cruise(v); });
+}
+
+void EblScenario::build_nodes() {
+  const std::size_t n = config_.platoon_size;
+  const std::size_t total = 2 * n;
+
+  mac::TdmaParams tdma = config_.tdma;
+  // The frame must at least fit every node; beyond that the configured
+  // slot count stands (NS-2 defaults to 64-slot frames regardless of the
+  // active population).
+  if (tdma.num_slots < total) tdma.num_slots = total;
+
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    auto node = std::make_unique<net::Node>(env_, id);
+
+    const auto& vehicle =
+        i < n ? platoon1_->vehicle(i) : platoon2_->vehicle(i - n);
+    node->set_mobility(vehicle);
+
+    auto phy = std::make_unique<phy::WirelessPhy>(
+        env_, id, *channel_,
+        [vehicle, this] { return vehicle->position_at(env_.now()); }, config_.phy);
+
+    std::unique_ptr<net::PacketQueue> ifq;
+    if (config_.use_red_queue) {
+      queue::RedParams red = config_.red;
+      red.capacity = config_.ifq_capacity;
+      ifq = std::make_unique<queue::RedQueue>(env_.rng(), red);
+    } else {
+      ifq = std::make_unique<queue::PriQueue>(config_.ifq_capacity);
+    }
+    std::unique_ptr<net::MacLayer> mac_layer;
+    if (config_.mac == MacType::kTdma) {
+      mac_layer = std::make_unique<mac::MacTdma>(env_, id, *phy, std::move(ifq), tdma,
+                                                 static_cast<unsigned>(i));
+    } else {
+      mac_layer = std::make_unique<mac::Mac80211>(env_, id, *phy, std::move(ifq),
+                                                  config_.mac80211);
+    }
+
+    if (config_.use_arp) {
+      mac_layer = std::make_unique<mac::ArpLayer>(env_, std::move(mac_layer), config_.arp);
+    }
+
+    std::unique_ptr<net::RoutingAgent> agent;
+    switch (config_.routing) {
+      case RoutingType::kAodv: {
+        auto aodv = std::make_unique<routing::Aodv>(env_, id, config_.aodv);
+        aodvs_.push_back(aodv.get());
+        agent = std::move(aodv);
+        break;
+      }
+      case RoutingType::kDsdv:
+        agent = std::make_unique<routing::Dsdv>(env_, id, config_.dsdv);
+        break;
+      case RoutingType::kStatic:
+        // All six vehicles are a single radio hop apart in this scenario.
+        agent = std::make_unique<routing::StaticRouting>(env_, id, /*direct_by_default=*/true);
+        break;
+    }
+
+    node->set_mac(std::move(mac_layer));
+    node->set_routing(std::move(agent));
+
+    phys_.push_back(std::move(phy));
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void EblScenario::build_traffic() {
+  const std::size_t n = config_.platoon_size;
+  std::vector<net::Node*> p1_nodes, p2_nodes;
+  for (std::size_t i = 0; i < n; ++i) p1_nodes.push_back(nodes_[i].get());
+  for (std::size_t i = 0; i < n; ++i) p2_nodes.push_back(nodes_[n + i].get());
+
+  EblConfig ebl = config_.ebl;
+  ebl.packet_bytes = config_.packet_bytes;
+
+  ebl1_ = std::make_unique<PlatoonEbl>(env_, *platoon1_, p1_nodes, ebl, /*base_port=*/1000);
+  ebl2_ = std::make_unique<PlatoonEbl>(env_, *platoon2_, p2_nodes, ebl, /*base_port=*/3000);
+
+  tput1_ = std::make_unique<trace::ThroughputMonitor>(
+      env_, [this] { return ebl1_->total_sink_bytes(); }, config_.throughput_sample_interval);
+  tput2_ = std::make_unique<trace::ThroughputMonitor>(
+      env_, [this] { return ebl2_->total_sink_bytes(); }, config_.throughput_sample_interval);
+  tput1_->start();
+  tput2_->start();
+}
+
+void EblScenario::run() { run_until(config_.duration); }
+
+void EblScenario::run_until(sim::Time t) { env_.scheduler().run_until(t); }
+
+}  // namespace eblnet::core

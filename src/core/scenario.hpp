@@ -1,0 +1,154 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/ebl_app.hpp"
+#include "mac/arp.hpp"
+#include "mac/mac_80211.hpp"
+#include "mac/mac_tdma.hpp"
+#include "mobility/platoon.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/wireless_phy.hpp"
+#include "queue/red.hpp"
+#include "routing/aodv.hpp"
+#include "routing/dsdv.hpp"
+#include "trace/throughput_monitor.hpp"
+#include "trace/trace_manager.hpp"
+
+namespace eblnet::core {
+
+enum class MacType : std::uint8_t { kTdma, k80211 };
+
+/// Network-layer choice: AODV is the paper's fixed parameter; DSDV and
+/// pre-installed static routes are comparison baselines.
+enum class RoutingType : std::uint8_t { kAodv, kDsdv, kStatic };
+
+const char* to_string(MacType m) noexcept;
+const char* to_string(RoutingType r) noexcept;
+
+/// Full configuration of the paper's two-platoon intersection scenario.
+/// Defaults reproduce trial 1 (1000-byte packets over TDMA).
+struct ScenarioConfig {
+  // --- the paper's variable parameters ---
+  std::size_t packet_bytes{1000};
+  MacType mac{MacType::kTdma};
+
+  // --- baselines (the paper fixes AODV) ---
+  RoutingType routing{RoutingType::kAodv};
+
+  /// Insert the NS-2-style ARP link layer below routing. Off by default
+  /// (the calibrated trials exclude it); bench/ablation_arp measures its
+  /// contribution to the initial-packet delay.
+  bool use_arp{false};
+  mac::ArpParams arp{};
+
+  // --- the paper's fixed parameters ---
+  std::size_t platoon_size{3};
+  double speed_mps{22.352};  ///< 50 mph
+  double vehicle_gap_m{5.0};
+  double decel_mps2{5.0};
+  std::size_t ifq_capacity{50};  ///< drop-tail PriQueue length
+
+  /// Replace the paper's drop-tail PriQueue with RED (ablation only).
+  bool use_red_queue{false};
+  queue::RedParams red{};
+
+  // --- scenario geometry / timing ---
+  /// Platoon 1 approaches from the south and begins braking at this time
+  /// (the paper's throughput plots ramp at ~2 s).
+  sim::Time platoon1_brake_at{sim::Time::seconds(std::int64_t{2})};
+  /// Platoon 2 departs (and stops communicating) at this time. Zero means
+  /// "when platoon 1 has fully stopped", the paper's narrative.
+  sim::Time platoon2_depart{};
+  sim::Time duration{sim::Time::seconds(std::int64_t{62})};
+
+  /// Instant platoon 1 is fully stopped at the intersection.
+  sim::Time platoon1_stop_time() const {
+    return platoon1_brake_at + sim::Time::seconds(speed_mps / decel_mps2);
+  }
+  /// platoon2_depart with the "auto" default resolved.
+  sim::Time resolved_platoon2_depart() const {
+    return platoon2_depart.is_zero() ? platoon1_stop_time() : platoon2_depart;
+  }
+
+  // --- traffic ---
+  EblConfig ebl{};
+
+  // --- stack parameters ---
+  mac::Mac80211Params mac80211{};
+  mac::TdmaParams tdma{};
+  phy::PhyParams phy{};
+  routing::AodvParams aodv{};
+  routing::DsdvParams dsdv{};
+  sim::Time throughput_sample_interval{sim::Time::milliseconds(100)};
+
+  std::uint64_t seed{1};
+  bool enable_trace{true};
+};
+
+/// The reference network model of the paper (§III.A): two platoons of
+/// three vehicles at an intersection. Platoon 1 (nodes 0–2) approaches
+/// from the south, brakes, stops, and communicates; platoon 2 (nodes 3–5)
+/// starts stopped-and-communicating on the cross street and departs
+/// east at `platoon2_depart`.
+class EblScenario {
+ public:
+  explicit EblScenario(ScenarioConfig config);
+  ~EblScenario();
+
+  EblScenario(const EblScenario&) = delete;
+  EblScenario& operator=(const EblScenario&) = delete;
+
+  /// Run the whole simulation (to config.duration).
+  void run();
+
+  /// Advance to an absolute simulation time (idempotent; run() finishes).
+  void run_until(sim::Time t);
+
+  // --- access for analysis ---
+  const ScenarioConfig& config() const noexcept { return config_; }
+  net::Env& env() noexcept { return env_; }
+  const trace::TraceManager& trace() const noexcept { return trace_; }
+
+  net::Node& node(std::size_t i) { return *nodes_.at(i); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  mobility::Platoon& platoon1() noexcept { return *platoon1_; }
+  mobility::Platoon& platoon2() noexcept { return *platoon2_; }
+  PlatoonEbl& ebl1() noexcept { return *ebl1_; }
+  PlatoonEbl& ebl2() noexcept { return *ebl2_; }
+  const trace::ThroughputMonitor& throughput1() const noexcept { return *tput1_; }
+  const trace::ThroughputMonitor& throughput2() const noexcept { return *tput2_; }
+  phy::WirelessPhy& phy(std::size_t i) { return *phys_.at(i); }
+
+  /// The node's AODV agent; throws unless config.routing == kAodv.
+  routing::Aodv& aodv(std::size_t i);
+
+  /// Node ids, platoon-relative.
+  static constexpr net::NodeId kP1Lead = 0, kP1Middle = 1, kP1Trailing = 2;
+  static constexpr net::NodeId kP2Lead = 3, kP2Middle = 4, kP2Trailing = 5;
+
+ private:
+  void build_nodes();
+  void build_mobility();
+  void build_traffic();
+
+  ScenarioConfig config_;
+  trace::TraceManager trace_;
+  net::Env env_;
+  std::shared_ptr<phy::PropagationModel> propagation_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys_;
+  std::vector<std::unique_ptr<net::Node>> nodes_;
+  std::vector<routing::Aodv*> aodvs_;  ///< non-owning views into nodes' agents
+  std::unique_ptr<mobility::Platoon> platoon1_;
+  std::unique_ptr<mobility::Platoon> platoon2_;
+  std::unique_ptr<PlatoonEbl> ebl1_;
+  std::unique_ptr<PlatoonEbl> ebl2_;
+  std::unique_ptr<trace::ThroughputMonitor> tput1_;
+  std::unique_ptr<trace::ThroughputMonitor> tput2_;
+};
+
+}  // namespace eblnet::core

@@ -1,0 +1,118 @@
+#include "core/trial.hpp"
+
+#include <algorithm>
+
+namespace eblnet::core {
+
+std::vector<trace::DelaySample> TrialResult::p1_all() const {
+  std::vector<trace::DelaySample> out = p1_middle;
+  out.insert(out.end(), p1_trailing.begin(), p1_trailing.end());
+  return out;
+}
+
+std::vector<trace::DelaySample> TrialResult::p2_all() const {
+  std::vector<trace::DelaySample> out = p2_middle;
+  out.insert(out.end(), p2_trailing.begin(), p2_trailing.end());
+  return out;
+}
+
+double TrialResult::p1_steady_state_delay_s(std::size_t skip) const {
+  stats::Summary s;
+  for (const auto* flow : {&p1_middle, &p1_trailing}) {
+    for (const auto& d : *flow) {
+      if (d.seq >= skip) s.add(d.delay_seconds());
+    }
+  }
+  return s.empty() ? -1.0 : s.mean();
+}
+
+std::size_t TrialResult::p1_transient_end_mser() const {
+  std::vector<double> series;
+  series.reserve(p1_middle.size());
+  for (const auto& d : p1_middle) series.push_back(d.delay_seconds());
+  return stats::mser5_truncation(series);
+}
+
+ScenarioConfig make_trial_config(std::size_t packet_bytes, MacType mac) {
+  ScenarioConfig cfg;
+  cfg.packet_bytes = packet_bytes;
+  cfg.mac = mac;
+  return cfg;
+}
+
+ScenarioConfig trial1_config() { return make_trial_config(1000, MacType::kTdma); }
+ScenarioConfig trial2_config() { return make_trial_config(500, MacType::kTdma); }
+ScenarioConfig trial3_config() { return make_trial_config(1000, MacType::k80211); }
+
+namespace {
+
+/// CI over the samples inside the platoon's communication window only
+/// (zeros outside the window would make "average throughput" meaningless).
+stats::ConfidenceInterval throughput_ci(const stats::TimeSeries& series, sim::Time from,
+                                        sim::Time to) {
+  std::vector<double> window;
+  for (const auto& p : series.points()) {
+    if (p.t >= from && p.t <= to) window.push_back(p.value);
+  }
+  if (window.size() < 20) {
+    stats::Summary s;
+    for (const double v : window) s.add(v);
+    return stats::mean_confidence_interval(s);
+  }
+  return stats::batch_means_confidence_interval(window, 10);
+}
+
+}  // namespace
+
+TrialResult run_trial(const ScenarioConfig& config, std::string name,
+                      const std::function<void(EblScenario&)>& after_run) {
+  EblScenario scenario{config};
+  scenario.run();
+  if (after_run) after_run(scenario);
+
+  TrialResult r;
+  r.name = std::move(name);
+  r.config = config;
+
+  const trace::DelayAnalyzer delays{scenario.trace().records()};
+  r.p1_middle = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Middle);
+  r.p1_trailing = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Trailing);
+  r.p2_middle = delays.flow(EblScenario::kP2Lead, EblScenario::kP2Middle);
+  r.p2_trailing = delays.flow(EblScenario::kP2Lead, EblScenario::kP2Trailing);
+
+  r.p1_throughput = scenario.throughput1().series();
+  r.p2_throughput = scenario.throughput2().series();
+
+  // Platoon 1 communicates from brake onset to the end of the run;
+  // platoon 2 from t=0 until it departs.
+  r.p1_throughput_ci = throughput_ci(r.p1_throughput, config.platoon1_brake_at, config.duration);
+  r.p2_throughput_ci =
+      throughput_ci(r.p2_throughput, sim::Time::zero(), config.resolved_platoon2_depart());
+
+  {
+    double initial = -1.0;
+    for (const auto* flow : {&r.p1_middle, &r.p1_trailing}) {
+      const double d = trace::DelayAnalyzer::initial_packet_delay_seconds(*flow);
+      if (d >= 0.0 && (initial < 0.0 || d > initial)) initial = d;
+    }
+    // The *latest*-notified follower bounds the platoon's safety, so take
+    // the max over followers.
+    r.p1_initial_packet_delay_s = initial;
+  }
+
+  for (const auto& rec : scenario.trace().records()) {
+    if (rec.action == net::TraceAction::kSend && rec.layer == net::TraceLayer::kMac) {
+      if (net::is_routing_control(rec.type)) ++r.routing_control_sends;
+      if (rec.type == net::PacketType::kTcpData || rec.type == net::PacketType::kUdpData)
+        ++r.data_frame_sends;
+      continue;
+    }
+    if (rec.action != net::TraceAction::kDrop) continue;
+    if (rec.layer == net::TraceLayer::kIfq) ++r.ifq_drops;
+    if (rec.layer == net::TraceLayer::kPhy && rec.reason == "COL") ++r.phy_collisions;
+    if (rec.layer == net::TraceLayer::kMac && rec.reason == "RET") ++r.mac_retry_drops;
+  }
+  return r;
+}
+
+}  // namespace eblnet::core

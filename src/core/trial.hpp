@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "stats/confidence.hpp"
+#include "stats/summary.hpp"
+#include "stats/time_series.hpp"
+#include "trace/delay_analyzer.hpp"
+
+namespace eblnet::core {
+
+/// Everything the paper reports for one trial, extracted from a finished
+/// EblScenario run.
+struct TrialResult {
+  std::string name;
+  ScenarioConfig config;
+
+  /// One-way delay samples per receiver (seq-ordered), per platoon.
+  std::vector<trace::DelaySample> p1_middle;
+  std::vector<trace::DelaySample> p1_trailing;
+  std::vector<trace::DelaySample> p2_middle;
+  std::vector<trace::DelaySample> p2_trailing;
+
+  /// Platoon throughput time series (Mb/s, 100 ms samples).
+  stats::TimeSeries p1_throughput;
+  stats::TimeSeries p2_throughput;
+
+  /// 95 % CI of the platoon-1 mean throughput over its communication
+  /// window, via batch means (the paper's "confidence level analysis").
+  stats::ConfidenceInterval p1_throughput_ci;
+  stats::ConfidenceInterval p2_throughput_ci;
+
+  /// Delay of the first packet delivered to each platoon-1 follower —
+  /// the figure the stopping-distance analysis (§III.E) hinges on.
+  double p1_initial_packet_delay_s{-1.0};
+
+  /// Trace-level accounting.
+  std::uint64_t ifq_drops{0};
+  std::uint64_t phy_collisions{0};
+  std::uint64_t mac_retry_drops{0};
+  /// Routing-protocol frames actually radiated (RREQ/RREP/RERR/HELLO/
+  /// DSDV updates at the MAC layer) — the control overhead.
+  std::uint64_t routing_control_sends{0};
+  /// Data frames radiated (including MAC retransmissions).
+  std::uint64_t data_frame_sends{0};
+
+  // --- derived helpers ---
+  std::vector<trace::DelaySample> p1_all() const;
+  std::vector<trace::DelaySample> p2_all() const;
+  stats::Summary p1_delay_summary() const { return trace::DelayAnalyzer::summarize(p1_all()); }
+  stats::Summary p2_delay_summary() const { return trace::DelayAnalyzer::summarize(p2_all()); }
+  stats::Summary p1_throughput_summary() const { return p1_throughput.summarize(); }
+  stats::Summary p2_throughput_summary() const { return p2_throughput.summarize(); }
+
+  /// Steady-state delay estimate: mean over samples after the transient
+  /// (`skip` leading packets per flow).
+  double p1_steady_state_delay_s(std::size_t skip = 50) const;
+
+  /// Transient length of the platoon-1 middle-vehicle flow detected by
+  /// MSER-5 (the paper eyeballs "approximately packet 50" from the
+  /// figures; this computes it). Returns the first steady packet index.
+  std::size_t p1_transient_end_mser() const;
+};
+
+/// The paper's three trials.
+ScenarioConfig trial1_config();  ///< 1000 B, TDMA (the base trial)
+ScenarioConfig trial2_config();  ///< 500 B, TDMA
+ScenarioConfig trial3_config();  ///< 1000 B, 802.11
+
+/// Configuration for an arbitrary (packet size, MAC) point, sharing the
+/// calibrated traffic/stack parameters of the paper trials.
+ScenarioConfig make_trial_config(std::size_t packet_bytes, MacType mac);
+
+/// Run a configured scenario to completion and extract a TrialResult.
+/// `after_run`, when provided, is invoked on the finished scenario before
+/// it is torn down (e.g. to export a Nam animation or inspect agents).
+TrialResult run_trial(const ScenarioConfig& config, std::string name = {},
+                      const std::function<void(EblScenario&)>& after_run = {});
+
+}  // namespace eblnet::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "mobility/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace eblnet::mobility {
+
+/// Position source for a node. Implementations compute position lazily
+/// from closed-form kinematics — there is no per-tick movement event, so
+/// mobility adds zero load to the event queue.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  virtual Vec2 position_at(sim::Time t) const = 0;
+  virtual Vec2 velocity_at(sim::Time t) const = 0;
+
+  double speed_at(sim::Time t) const { return velocity_at(t).length(); }
+};
+
+/// A node that never moves.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_{pos} {}
+  Vec2 position_at(sim::Time) const override { return pos_; }
+  Vec2 velocity_at(sim::Time) const override { return {}; }
+
+ private:
+  Vec2 pos_;
+};
+
+}  // namespace eblnet::mobility

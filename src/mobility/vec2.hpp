@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cmath>
+
+namespace eblnet::mobility {
+
+/// 2-D position/velocity vector in metres (or m/s).
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) noexcept { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) noexcept { return a * k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) noexcept { return {a.x / k, a.y / k}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+
+  constexpr double dot(Vec2 b) const noexcept { return x * b.x + y * b.y; }
+  double length() const noexcept { return std::sqrt(x * x + y * y); }
+
+  /// Unit vector in this direction; {0,0} stays {0,0}.
+  Vec2 normalized() const noexcept {
+    const double len = length();
+    return len == 0.0 ? Vec2{} : Vec2{x / len, y / len};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).length(); }
+
+/// Miles-per-hour to metres-per-second (the paper quotes both).
+constexpr double mph_to_mps(double mph) noexcept { return mph * 0.44704; }
+
+}  // namespace eblnet::mobility

@@ -1,0 +1,45 @@
+#include "mobility/waypoint.hpp"
+
+#include <stdexcept>
+
+namespace eblnet::mobility {
+
+WaypointMobility::WaypointMobility(Vec2 initial_pos) : initial_pos_{initial_pos} {}
+
+void WaypointMobility::set_destination_at(sim::Time at, Vec2 dest, double speed) {
+  if (speed <= 0.0) throw std::invalid_argument{"WaypointMobility: speed must be > 0"};
+  if (!legs_.empty() && at < legs_.back().start)
+    throw std::invalid_argument{"WaypointMobility: commands must be time-ordered"};
+  const Vec2 from = position_at(at);
+  const double dist = distance(from, dest);
+  const sim::Time travel = sim::Time::seconds(dist / speed);
+  legs_.push_back(Leg{at, at + travel, from, dest});
+}
+
+const WaypointMobility::Leg* WaypointMobility::leg_for(sim::Time t) const {
+  const Leg* found = nullptr;
+  for (const auto& leg : legs_) {
+    if (leg.start <= t) found = &leg;
+    else break;
+  }
+  return found;
+}
+
+Vec2 WaypointMobility::position_at(sim::Time t) const {
+  const Leg* leg = leg_for(t);
+  if (leg == nullptr) return initial_pos_;
+  if (t >= leg->arrive) return leg->to;
+  const double total = (leg->arrive - leg->start).to_seconds();
+  const double frac = total == 0.0 ? 1.0 : (t - leg->start).to_seconds() / total;
+  return leg->from + (leg->to - leg->from) * frac;
+}
+
+Vec2 WaypointMobility::velocity_at(sim::Time t) const {
+  const Leg* leg = leg_for(t);
+  if (leg == nullptr || t >= leg->arrive) return {};
+  const double total = (leg->arrive - leg->start).to_seconds();
+  if (total == 0.0) return {};
+  return (leg->to - leg->from) / total;
+}
+
+}  // namespace eblnet::mobility

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+
+namespace eblnet::mobility {
+
+/// NS-2 `setdest`-style waypoint mobility: a sequence of (time,
+/// destination, speed) commands; the node moves in a straight line at
+/// constant speed toward each destination and waits there until the next
+/// command. Commands may be installed up-front or during the simulation,
+/// but only with nondecreasing activation times.
+class WaypointMobility final : public MobilityModel {
+ public:
+  explicit WaypointMobility(Vec2 initial_pos);
+
+  /// `$ns at <at> "$node setdest <dest> <speed>"`. Requires speed > 0 and
+  /// `at` not earlier than the previous command.
+  void set_destination_at(sim::Time at, Vec2 dest, double speed);
+
+  Vec2 position_at(sim::Time t) const override;
+  Vec2 velocity_at(sim::Time t) const override;
+
+ private:
+  /// Motion is a list of legs: from `start` the node is at `from` moving
+  /// toward `to`, arriving at `arrive`; after `arrive` it rests at `to`.
+  struct Leg {
+    sim::Time start;
+    sim::Time arrive;
+    Vec2 from;
+    Vec2 to;
+  };
+
+  const Leg* leg_for(sim::Time t) const;
+
+  Vec2 initial_pos_;
+  std::vector<Leg> legs_;
+};
+
+}  // namespace eblnet::mobility

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/trace_sink.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eblnet::net {
+
+/// Shared simulation environment: the clock/event queue, the random
+/// stream, the packet uid allocator and the trace sink. One Env per
+/// simulation; every node and layer holds a reference to it, which keeps
+/// uid allocation and randomness per-simulation (two simulations in one
+/// process are fully independent and reproducible).
+class Env {
+ public:
+  explicit Env(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  sim::Rng& rng() noexcept { return rng_; }
+  sim::Time now() const noexcept { return scheduler_.now(); }
+
+  std::uint64_t alloc_uid() noexcept { return next_uid_++; }
+
+  void set_trace_sink(TraceSink* sink) noexcept { trace_ = sink; }
+  TraceSink* trace_sink() const noexcept { return trace_; }
+
+  /// Emit a trace record for `p` as seen at `layer` on `node`.
+  void trace(TraceAction action, TraceLayer layer, NodeId node, const Packet& p,
+             std::string reason = {}) {
+    if (trace_ == nullptr) return;
+    TraceRecord r;
+    r.t = scheduler_.now();
+    r.action = action;
+    r.layer = layer;
+    r.node = node;
+    r.uid = p.uid;
+    r.type = p.type;
+    r.size = p.size_bytes();
+    if (p.ip) {
+      r.ip_src = p.ip->src;
+      r.ip_dst = p.ip->dst;
+    }
+    r.app_seq = p.app_seq;
+    r.reason = std::move(reason);
+    trace_->record(r);
+  }
+
+ private:
+  sim::Scheduler scheduler_;
+  sim::Rng rng_;
+  TraceSink* trace_{nullptr};
+  std::uint64_t next_uid_{1};
+};
+
+}  // namespace eblnet::net

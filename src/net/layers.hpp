@@ -1,0 +1,89 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace eblnet::net {
+
+/// Interface queue between the routing layer and the MAC (NS-2's `ifq`).
+/// Implementations: queue::DropTailQueue, queue::PriQueue.
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  /// Returns false when the packet was dropped (queue full); the drop
+  /// callback has then already been invoked.
+  virtual bool enqueue(Packet p) = 0;
+
+  virtual std::optional<Packet> dequeue() = 0;
+  virtual const Packet* peek() const = 0;
+
+  /// Remove every queued packet whose MAC destination equals `next_hop`
+  /// (used by AODV after a link failure). Returns the removed packets.
+  virtual std::vector<Packet> remove_by_next_hop(NodeId next_hop) = 0;
+
+  virtual std::size_t length() const = 0;
+  virtual std::uint64_t drop_count() const = 0;
+  bool empty() const { return length() == 0; }
+
+  using DropCallback = std::function<void(const Packet&, const char* reason)>;
+  virtual void set_drop_callback(DropCallback cb) = 0;
+};
+
+/// Link layer seen from above. Implementations: mac::Mac80211, mac::MacTdma.
+///
+/// The MAC owns its interface queue; `enqueue` is the single entry point
+/// for outgoing traffic (the packet's MacHeader.dst selects unicast
+/// next-hop or broadcast). Delivery upward goes through the rx callback;
+/// unicast transmit failure (retry limit) through the tx-fail callback,
+/// which AODV uses for link-layer failure detection.
+class MacLayer {
+ public:
+  virtual ~MacLayer() = default;
+
+  virtual void enqueue(Packet p) = 0;
+
+  using RxCallback = std::function<void(Packet)>;
+  virtual void set_rx_callback(RxCallback cb) = 0;
+
+  using TxFailCallback = std::function<void(const Packet&)>;
+  virtual void set_tx_fail_callback(TxFailCallback cb) = 0;
+
+  virtual NodeId address() const = 0;
+
+  /// True when this MAC reports unicast delivery failures via the
+  /// tx-fail callback (802.11 does; TDMA has no ACKs, so AODV must run
+  /// HELLO-based neighbour detection instead).
+  virtual bool detects_link_failures() const = 0;
+
+  /// Flush queued data packets destined to `next_hop` (route broke).
+  virtual std::vector<Packet> flush_next_hop(NodeId next_hop) = 0;
+};
+
+/// Network layer. Implementations: routing::Aodv, routing::StaticRouting.
+class RoutingAgent {
+ public:
+  virtual ~RoutingAgent() = default;
+
+  /// Packet originating at this node (IP header already set).
+  virtual void route_output(Packet p) = 0;
+
+  /// Packet handed up by the MAC (may be forwarded or delivered locally).
+  virtual void route_input(Packet p) = 0;
+
+  using DeliverCallback = std::function<void(Packet)>;
+  virtual void set_deliver_callback(DeliverCallback cb) = 0;
+
+  virtual void attach_mac(MacLayer* mac) = 0;
+};
+
+/// A transport endpoint bound to a port (NS-2 "agent").
+class PortHandler {
+ public:
+  virtual ~PortHandler() = default;
+  virtual void recv(Packet p) = 0;
+};
+
+}  // namespace eblnet::net

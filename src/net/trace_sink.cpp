@@ -1,0 +1,26 @@
+#include "net/trace_sink.hpp"
+
+namespace eblnet::net {
+
+const char* to_string(TraceAction a) noexcept {
+  switch (a) {
+    case TraceAction::kSend: return "s";
+    case TraceAction::kRecv: return "r";
+    case TraceAction::kDrop: return "D";
+    case TraceAction::kForward: return "f";
+  }
+  return "?";
+}
+
+const char* to_string(TraceLayer l) noexcept {
+  switch (l) {
+    case TraceLayer::kAgent: return "AGT";
+    case TraceLayer::kRouter: return "RTR";
+    case TraceLayer::kIfq: return "IFQ";
+    case TraceLayer::kMac: return "MAC";
+    case TraceLayer::kPhy: return "PHY";
+  }
+  return "?";
+}
+
+}  // namespace eblnet::net

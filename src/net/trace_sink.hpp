@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace eblnet::net {
+
+/// What happened to the packet.
+enum class TraceAction : std::uint8_t { kSend, kRecv, kDrop, kForward };
+
+/// Which layer reported it (NS-2's AGT / RTR / IFQ / MAC / PHY columns).
+enum class TraceLayer : std::uint8_t { kAgent, kRouter, kIfq, kMac, kPhy };
+
+const char* to_string(TraceAction a) noexcept;
+const char* to_string(TraceLayer l) noexcept;
+
+/// One line of the simulation trace. The offline analyzers (one-way
+/// delay, drop accounting) consume these, mirroring how the paper parses
+/// the NS-2 trace file.
+struct TraceRecord {
+  sim::Time t{};
+  TraceAction action{TraceAction::kSend};
+  TraceLayer layer{TraceLayer::kAgent};
+  NodeId node{0};
+  std::uint64_t uid{0};
+  PacketType type{PacketType::kUdpData};
+  std::size_t size{0};
+  NodeId ip_src{kBroadcastAddress};
+  NodeId ip_dst{kBroadcastAddress};
+  std::uint64_t app_seq{0};
+  std::string reason;  ///< drop reason ("IFQ", "RET", "TTL", ...); empty otherwise
+};
+
+/// Receives every trace record as it happens. Implemented by
+/// trace::TraceManager; a null sink is permitted (tracing off).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& r) = 0;
+};
+
+}  // namespace eblnet::net

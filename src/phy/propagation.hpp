@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/rng.hpp"
+
+namespace eblnet::phy {
+
+/// Radio propagation model: received signal power as a function of
+/// transmit power and distance. Implementations mirror NS-2's models.
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Received power in watts at `distance_m` metres for `tx_power_w`
+  /// watts transmitted. `distance_m` may be 0 (co-located).
+  virtual double rx_power(double tx_power_w, double distance_m) const = 0;
+
+  /// Distance at which rx_power drops to `threshold_w` (bisection over a
+  /// monotone envelope); used by tests and range planning.
+  double range_for_threshold(double tx_power_w, double threshold_w) const;
+};
+
+/// Friis free-space model: Pr = Pt Gt Gr lambda^2 / ((4 pi d)^2 L).
+class FreeSpace : public PropagationModel {
+ public:
+  FreeSpace(double frequency_hz = 914e6, double gt = 1.0, double gr = 1.0, double loss = 1.0);
+  double rx_power(double tx_power_w, double distance_m) const override;
+
+  double wavelength() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+  double gt_, gr_, loss_;
+};
+
+/// Two-ray ground reflection: Friis below the crossover distance
+/// dc = 4 pi ht hr / lambda, and Pr = Pt Gt Gr ht^2 hr^2 / (d^4 L)
+/// beyond it — NS-2's default for vehicular/ad hoc studies.
+class TwoRayGround : public PropagationModel {
+ public:
+  TwoRayGround(double frequency_hz = 914e6, double ht = 1.5, double hr = 1.5, double gt = 1.0,
+               double gr = 1.0, double loss = 1.0);
+  double rx_power(double tx_power_w, double distance_m) const override;
+
+  double crossover_distance() const noexcept { return crossover_; }
+
+ private:
+  FreeSpace friis_;
+  double ht_, hr_, gt_, gr_, loss_;
+  double crossover_;
+};
+
+/// Nakagami-m fast fading on top of two-ray ground — the de facto VANET
+/// channel model in later literature. Each rx_power() call draws an
+/// independent gamma-distributed fade (deterministic given the Rng
+/// stream): m = 1 is Rayleigh, larger m approaches the unfaded channel.
+/// Fading makes reception at range edges probabilistic, which the
+/// threshold model alone cannot express.
+class NakagamiFading : public PropagationModel {
+ public:
+  NakagamiFading(double m, sim::Rng& rng, double frequency_hz = 914e6, double ht = 1.5,
+                 double hr = 1.5);
+  double rx_power(double tx_power_w, double distance_m) const override;
+
+  double m() const noexcept { return m_; }
+
+ private:
+  double gamma_sample() const;
+
+  TwoRayGround mean_model_;
+  double m_;
+  sim::Rng& rng_;
+};
+
+/// Log-distance path loss with optional log-normal shadowing (deterministic
+/// given the Rng stream) — an extension beyond the paper for sensitivity
+/// studies. Pr(d) = Pr(d0) * (d0/d)^beta * 10^(X_sigma/10).
+class LogDistanceShadowing : public PropagationModel {
+ public:
+  LogDistanceShadowing(double exponent, double sigma_db, double ref_distance_m = 1.0,
+                       double frequency_hz = 914e6, sim::Rng* rng = nullptr);
+  double rx_power(double tx_power_w, double distance_m) const override;
+
+ private:
+  FreeSpace friis_;
+  double beta_;
+  double sigma_db_;
+  double d0_;
+  sim::Rng* rng_;
+};
+
+}  // namespace eblnet::phy

@@ -1,0 +1,158 @@
+#include "phy/wireless_phy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eblnet::phy {
+namespace {
+constexpr double kSpeedOfLight = 299'792'458.0;
+}
+
+WirelessPhy::WirelessPhy(net::Env& env, net::NodeId owner, Channel& channel, PositionFn position,
+                         PhyParams params)
+    : env_{env},
+      owner_{owner},
+      channel_{channel},
+      position_{std::move(position)},
+      params_{params},
+      rx_end_timer_{env.scheduler(), [this] { finish_reception(); }},
+      carrier_timer_{env.scheduler(), [this] { update_carrier(); }} {
+  if (!position_) throw std::invalid_argument{"WirelessPhy: position function required"};
+  channel_.attach(this);
+}
+
+WirelessPhy::~WirelessPhy() { channel_.detach(this); }
+
+void WirelessPhy::set_channel_id(std::uint32_t id) {
+  if (id == channel_id_) return;
+  channel_id_ = id;
+  if (rx_active_) abort_reception();
+  // Energy on the old channel is invisible now (own tx keeps its slot:
+  // the radio finishes the burst it started).
+  busy_until_ = std::min(busy_until_, env_.now());
+  update_carrier();
+}
+
+void WirelessPhy::transmit(net::Packet p, sim::Time duration) {
+  if (transmitting()) throw std::logic_error{"WirelessPhy: already transmitting"};
+  if (duration <= sim::Time::zero()) throw std::invalid_argument{"WirelessPhy: bad duration"};
+  // Half duplex: whatever we were decoding is lost.
+  if (rx_active_) abort_reception();
+  tx_until_ = env_.now() + duration;
+  ++tx_count_;
+  note_busy_until(tx_until_);
+  channel_.transmit(*this, p, duration);
+  update_carrier();
+}
+
+void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time duration) {
+  const sim::Time end = env_.now() + duration;
+  note_busy_until(end);
+
+  if (transmitting()) {
+    // Half duplex: incoming energy is invisible while we radiate.
+    update_carrier();
+    return;
+  }
+
+  if (rx_active_) {
+    // Overlap with the reception in progress: apply the capture rule.
+    if (rx_power_ >= rx_power_w * params_.capture_ratio) {
+      // Ongoing reception powers through; the newcomer is just noise.
+    } else if (rx_power_w >= rx_power_ * params_.capture_ratio &&
+               rx_power_w >= params_.rx_threshold_w) {
+      // Newcomer captures the receiver; the old frame is lost.
+      ++rx_collision_count_;
+      env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "COL");
+      rx_packet_ = std::move(p);
+      rx_power_ = rx_power_w;
+      rx_ok_ = true;
+      rx_end_timer_.schedule_at(end);
+    } else {
+      // Comparable powers: both frames are corrupted.
+      rx_ok_ = false;
+      // Keep decoding until the longer of the two signals ends, like a
+      // real receiver that can't resynchronise mid-burst.
+      if (end > rx_end_timer_.expires_at()) rx_end_timer_.schedule_at(end);
+    }
+  } else if (rx_power_w >= params_.rx_threshold_w) {
+    rx_active_ = true;
+    rx_ok_ = true;
+    rx_power_ = rx_power_w;
+    rx_packet_ = std::move(p);
+    rx_end_timer_.schedule_at(end);
+  }
+  // Below RX threshold with no reception in progress: carrier noise only.
+  update_carrier();
+}
+
+void WirelessPhy::finish_reception() {
+  rx_active_ = false;
+  net::Packet p = std::move(rx_packet_);
+  const bool ok = rx_ok_;
+  if (ok) {
+    ++rx_ok_count_;
+  } else {
+    ++rx_collision_count_;
+    env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, p, "COL");
+  }
+  update_carrier();
+  if (rx_end_cb_) rx_end_cb_(std::move(p), ok);
+}
+
+void WirelessPhy::abort_reception() {
+  rx_active_ = false;
+  rx_end_timer_.cancel();
+  ++rx_collision_count_;
+  env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "TXB");
+}
+
+void WirelessPhy::note_busy_until(sim::Time t) {
+  if (t > busy_until_) busy_until_ = t;
+}
+
+void WirelessPhy::update_carrier() {
+  const bool busy = carrier_busy();
+  if (busy) {
+    // Re-check exactly when the last known signal ends.
+    const sim::Time until = std::max(busy_until_, tx_until_);
+    if (!carrier_timer_.pending() || carrier_timer_.expires_at() < until)
+      carrier_timer_.schedule_at(until);
+  }
+  if (busy != carrier_was_busy_) {
+    carrier_was_busy_ = busy;
+    if (carrier_cb_) carrier_cb_(busy);
+  }
+}
+
+Channel::Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation)
+    : env_{env}, propagation_{std::move(propagation)} {
+  if (!propagation_) throw std::invalid_argument{"Channel: propagation model required"};
+}
+
+void Channel::attach(WirelessPhy* phy) {
+  if (phy == nullptr) throw std::invalid_argument{"Channel: null phy"};
+  phys_.push_back(phy);
+}
+
+void Channel::detach(WirelessPhy* phy) {
+  std::erase(phys_, phy);
+}
+
+void Channel::transmit(WirelessPhy& sender, const net::Packet& p, sim::Time duration) {
+  const mobility::Vec2 from = sender.position();
+  for (WirelessPhy* rx : phys_) {
+    if (rx == &sender) continue;
+    if (rx->channel_id() != sender.channel_id()) continue;  // different frequency
+    const double d = mobility::distance(from, rx->position());
+    const double power = propagation_->rx_power(sender.params().tx_power_w, d);
+    if (power < rx->params().cs_threshold_w) continue;  // invisible
+    const sim::Time prop_delay = sim::Time::seconds(d / kSpeedOfLight);
+    net::Packet copy = p;
+    env_.scheduler().schedule_in(prop_delay, [rx, copy = std::move(copy), power, duration]() mutable {
+      rx->signal_start(std::move(copy), power, duration);
+    });
+  }
+}
+
+}  // namespace eblnet::phy

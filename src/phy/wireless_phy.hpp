@@ -1,0 +1,144 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mobility/vec2.hpp"
+#include "net/env.hpp"
+#include "net/packet.hpp"
+#include "phy/propagation.hpp"
+#include "sim/timer.hpp"
+
+namespace eblnet::phy {
+
+class Channel;
+
+/// Radio parameters. Defaults are NS-2's 914 MHz WaveLAN values: a
+/// 0.28 W transmitter reaches 250 m at the receive threshold and 550 m at
+/// the carrier-sense threshold under two-ray ground propagation.
+struct PhyParams {
+  double tx_power_w{0.28183815};
+  double rx_threshold_w{3.652e-10};   ///< decodable above this (250 m)
+  double cs_threshold_w{1.559e-11};   ///< sensed (busy) above this (550 m)
+  double capture_ratio{10.0};         ///< 10 dB capture threshold (CPThresh)
+};
+
+/// Half-duplex wireless transceiver with NS-2-style threshold reception:
+///
+/// - signals below the carrier-sense threshold are invisible;
+/// - signals between CS and RX thresholds make the medium busy but cannot
+///   be decoded (and interfere with an ongoing reception);
+/// - overlapping receptions collide unless one is `capture_ratio` times
+///   stronger than the other (physical capture);
+/// - transmitting aborts any ongoing reception (half duplex).
+///
+/// The MAC above observes carrier transitions (for CSMA) and receives
+/// every decoded-or-collided frame end with a validity flag.
+class WirelessPhy {
+ public:
+  using PositionFn = std::function<mobility::Vec2()>;
+  /// (frame, ok): ok=false means the frame ended but was corrupted by a
+  /// collision; the MAC normally just counts it.
+  using RxEndCallback = std::function<void(net::Packet, bool ok)>;
+  using CarrierCallback = std::function<void(bool busy)>;
+
+  WirelessPhy(net::Env& env, net::NodeId owner, Channel& channel, PositionFn position,
+              PhyParams params = {});
+  ~WirelessPhy();
+
+  WirelessPhy(const WirelessPhy&) = delete;
+  WirelessPhy& operator=(const WirelessPhy&) = delete;
+
+  // --- MAC-facing interface ---
+
+  /// Radiate `p` for `duration` (airtime computed by the MAC from its
+  /// rate and framing). Must not already be transmitting.
+  void transmit(net::Packet p, sim::Time duration);
+
+  bool transmitting() const noexcept { return env_.now() < tx_until_; }
+  bool receiving() const noexcept { return rx_active_; }
+
+  /// Physical carrier sense: any energy above CS threshold, or own tx.
+  bool carrier_busy() const noexcept { return transmitting() || env_.now() < busy_until_; }
+
+  void set_rx_end_callback(RxEndCallback cb) { rx_end_cb_ = std::move(cb); }
+  void set_carrier_callback(CarrierCallback cb) { carrier_cb_ = std::move(cb); }
+
+  // --- Channel-facing interface ---
+
+  /// A signal from another phy starts arriving with the given received
+  /// power. Called by Channel (already above the CS threshold).
+  void signal_start(net::Packet p, double rx_power_w, sim::Time duration);
+
+  mobility::Vec2 position() const { return position_(); }
+  net::NodeId owner() const noexcept { return owner_; }
+  const PhyParams& params() const noexcept { return params_; }
+
+  /// Frequency channel this radio is tuned to. Radios only hear signals
+  /// on their own channel (the substrate for FHSS-style DoS hardening).
+  /// Retuning aborts any reception in progress and clears carrier state —
+  /// energy on the old channel is no longer visible.
+  std::uint32_t channel_id() const noexcept { return channel_id_; }
+  void set_channel_id(std::uint32_t id);
+
+  // --- statistics ---
+  std::uint64_t tx_count() const noexcept { return tx_count_; }
+  std::uint64_t rx_ok_count() const noexcept { return rx_ok_count_; }
+  std::uint64_t rx_collision_count() const noexcept { return rx_collision_count_; }
+
+ private:
+  void note_busy_until(sim::Time t);
+  void update_carrier();
+  void finish_reception();
+  void abort_reception();
+
+  net::Env& env_;
+  net::NodeId owner_;
+  Channel& channel_;
+  PositionFn position_;
+  PhyParams params_;
+  std::uint32_t channel_id_{0};
+
+  sim::Time tx_until_{};
+  sim::Time busy_until_{};
+
+  // Current (single) reception being decoded.
+  bool rx_active_{false};
+  bool rx_ok_{false};
+  double rx_power_{0.0};
+  net::Packet rx_packet_;
+  sim::Timer rx_end_timer_;
+  sim::Timer carrier_timer_;
+
+  bool carrier_was_busy_{false};
+
+  RxEndCallback rx_end_cb_;
+  CarrierCallback carrier_cb_;
+
+  std::uint64_t tx_count_{0};
+  std::uint64_t rx_ok_count_{0};
+  std::uint64_t rx_collision_count_{0};
+};
+
+/// The shared broadcast medium: fans a transmission out to every other
+/// attached phy whose received power clears its carrier-sense threshold,
+/// after the speed-of-light propagation delay.
+class Channel {
+ public:
+  Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation);
+
+  void attach(WirelessPhy* phy);
+  void detach(WirelessPhy* phy);
+
+  void transmit(WirelessPhy& sender, const net::Packet& p, sim::Time duration);
+
+  const PropagationModel& propagation() const noexcept { return *propagation_; }
+  std::size_t phy_count() const noexcept { return phys_.size(); }
+
+ private:
+  net::Env& env_;
+  std::shared_ptr<PropagationModel> propagation_;
+  std::vector<WirelessPhy*> phys_;
+};
+
+}  // namespace eblnet::phy

@@ -1,0 +1,77 @@
+#include "queue/drop_tail.hpp"
+
+#include <stdexcept>
+
+namespace eblnet::queue {
+
+DropTailQueue::DropTailQueue(std::size_t capacity) : capacity_{capacity} {
+  if (capacity == 0) throw std::invalid_argument{"DropTailQueue: capacity must be > 0"};
+}
+
+bool DropTailQueue::enqueue(net::Packet p) {
+  if (q_.size() >= capacity_) {
+    drop(std::move(p), "IFQ");
+    return false;
+  }
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<net::Packet> DropTailQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  // GCC 12 flags the moved-from optional<vector> inside Packet as
+  // "maybe uninitialized" here; the deque element is always a fully
+  // constructed Packet (sanitizer-verified), so the diagnostic is a
+  // known false positive (GCC PR 105562 family).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+  net::Packet p = std::move(q_.front());
+#pragma GCC diagnostic pop
+  q_.pop_front();
+  return p;
+}
+
+const net::Packet* DropTailQueue::peek() const { return q_.empty() ? nullptr : &q_.front(); }
+
+std::vector<net::Packet> DropTailQueue::remove_by_next_hop(net::NodeId next_hop) {
+  std::vector<net::Packet> removed;
+  for (auto it = q_.begin(); it != q_.end();) {
+    if (it->mac && it->mac->dst == next_hop) {
+      removed.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void DropTailQueue::drop(net::Packet p, const char* reason) {
+  ++drops_;
+  if (drop_cb_) drop_cb_(p, reason);
+}
+
+bool PriQueue::enqueue(net::Packet p) {
+  if (!net::is_routing_control(p.type)) return DropTailQueue::enqueue(std::move(p));
+  auto& q = packets();
+  if (q.size() >= capacity()) {
+    // Priority arrivals displace the newest data packet rather than being
+    // lost themselves (NS-2 PriQueue recv() head-inserts, then the tail
+    // drop falls on the displaced packet).
+    for (auto it = q.rbegin(); it != q.rend(); ++it) {
+      if (!net::is_routing_control(it->type)) {
+        net::Packet victim = std::move(*it);
+        q.erase(std::next(it).base());
+        q.push_front(std::move(p));
+        drop(std::move(victim), "IFQ");
+        return true;
+      }
+    }
+    drop(std::move(p), "IFQ");
+    return false;
+  }
+  q.push_front(std::move(p));
+  return true;
+}
+
+}  // namespace eblnet::queue

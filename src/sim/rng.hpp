@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace eblnet::sim {
+
+/// Deterministic pseudo-random source (xoshiro256++ seeded via
+/// splitmix64). Self-contained so results are identical across standard
+/// libraries and platforms — a requirement for reproducible simulation
+/// traces.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_int(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Uniform random Time in [lo, hi).
+  Time uniform_time(Time lo, Time hi) noexcept;
+
+  /// Derive an independent child stream (e.g. one per node).
+  Rng split() noexcept { return Rng{next_u64() ^ 0x9e3779b97f4a7c15ULL}; }
+
+ private:
+  std::uint64_t s_[4]{};
+  bool has_spare_{false};
+  double spare_{0.0};
+};
+
+}  // namespace eblnet::sim

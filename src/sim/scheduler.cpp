@@ -1,0 +1,74 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace eblnet::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  if (at < now_) throw std::invalid_argument{"Scheduler: event scheduled in the past"};
+  if (!cb) throw std::invalid_argument{"Scheduler: empty callback"};
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+void Scheduler::cancel(EventId id) { live_.erase(id); }
+
+bool Scheduler::is_pending(EventId id) const { return live_.contains(id); }
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the Entry must be moved out, so we
+    // const_cast the callback. The entry is popped immediately after.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    const bool alive = live_.erase(top.id) > 0;
+    out = Entry{top.at, top.id, std::move(top.cb)};
+    heap_.pop();
+    if (alive) return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  std::uint64_t n = 0;
+  Entry e;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    if (!pop_next(e)) break;
+    if (e.at > until) {
+      // The popped event belongs to the future (a cancelled event hid it);
+      // reinsert and stop.
+      live_.insert(e.id);
+      heap_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    ++executed_;
+    ++n;
+    e.cb();
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  Entry e;
+  while (n < max_events && pop_next(e)) {
+    assert(e.at >= now_);
+    now_ = e.at;
+    ++executed_;
+    ++n;
+    e.cb();
+  }
+  return n;
+}
+
+void Scheduler::clear() {
+  heap_ = {};
+  live_.clear();
+}
+
+}  // namespace eblnet::sim

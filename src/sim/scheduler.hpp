@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eblnet::sim {
+
+/// Handle to a scheduled event; used to cancel it before it fires.
+/// Value 0 is reserved as "invalid / never scheduled".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Discrete-event scheduler.
+///
+/// Events fire in nondecreasing time order; events scheduled for the same
+/// instant fire in the order they were scheduled (FIFO tie-break via a
+/// monotonically increasing sequence number), which keeps simulations
+/// deterministic. Cancellation is O(1) lazy: cancelled ids are skipped
+/// when they reach the top of the heap.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time (the timestamp of the event being executed,
+  /// or of the last executed event when idle).
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at`. `at` must be >= now().
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now(). `delay` must be >= 0.
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Harmless if the event already fired, was
+  /// already cancelled, or `id` is kInvalidEventId.
+  void cancel(EventId id);
+
+  /// True if `id` refers to an event that is still pending.
+  bool is_pending(EventId id) const;
+
+  /// Run events until the queue is empty or the time of the next event
+  /// exceeds `until`. Returns the number of events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Run all events to quiescence. `max_events` guards against runaway
+  /// simulations. Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Drop every pending event (does not reset the clock).
+  void clear();
+
+  std::size_t pending_count() const noexcept { return live_.size(); }
+  std::uint64_t executed_count() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.id > b.id);
+    }
+  };
+
+  /// Pops the next live entry into `out`; false when the queue is empty.
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> live_;
+  Time now_{};
+  EventId next_id_{1};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace eblnet::sim

@@ -1,0 +1,16 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace eblnet::sim {
+
+std::string Time::to_string() const {
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%" PRId64 ".%09" PRId64, ns_ < 0 ? "-" : "",
+                abs_ns / 1'000'000'000, abs_ns % 1'000'000'000);
+  return buf;
+}
+
+}  // namespace eblnet::sim

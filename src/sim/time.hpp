@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace eblnet::sim {
+
+/// Simulation time: a signed 64-bit count of nanoseconds since the start
+/// of the simulation. Integer representation keeps event ordering exact
+/// and simulations bit-reproducible across platforms.
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  /// Named constructors. Fractional inputs are rounded to the nearest
+  /// nanosecond.
+  static constexpr Time nanoseconds(std::int64_t ns) noexcept { return Time{ns}; }
+  static constexpr Time microseconds(std::int64_t us) noexcept { return Time{us * 1'000}; }
+  static constexpr Time milliseconds(std::int64_t ms) noexcept { return Time{ms * 1'000'000}; }
+  static constexpr Time seconds(std::int64_t s) noexcept { return Time{s * 1'000'000'000}; }
+  static constexpr Time seconds(double s) noexcept {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time microseconds(double us) noexcept {
+    return Time{static_cast<std::int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time zero() noexcept { return Time{0}; }
+  static constexpr Time max() noexcept { return Time{INT64_MAX}; }
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_milliseconds() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const noexcept { return ns_ == 0; }
+  constexpr bool is_negative() const noexcept { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) noexcept { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) noexcept { return Time{a.ns_ * k}; }
+  // An `int` overload keeps `t * 2` unambiguous between the int64 and
+  // double multiplications.
+  friend constexpr Time operator*(Time a, int k) noexcept { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(int k, Time a) noexcept { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(Time a, double k) noexcept {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k + 0.5)};
+  }
+  friend constexpr std::int64_t operator/(Time a, Time b) noexcept { return a.ns_ / b.ns_; }
+  friend constexpr Time operator/(Time a, std::int64_t k) noexcept { return Time{a.ns_ / k}; }
+  friend constexpr Time operator%(Time a, Time b) noexcept { return Time{a.ns_ % b.ns_}; }
+
+  constexpr Time& operator+=(Time b) noexcept { ns_ += b.ns_; return *this; }
+  constexpr Time& operator-=(Time b) noexcept { ns_ -= b.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Time a, Time b) noexcept = default;
+
+  /// "12.345678900" — seconds with nanosecond precision, for traces.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) noexcept : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+namespace time_literals {
+constexpr Time operator""_s(unsigned long long v) { return Time::seconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_s(long double v) { return Time::seconds(static_cast<double>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::microseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::nanoseconds(static_cast<std::int64_t>(v)); }
+}  // namespace time_literals
+
+}  // namespace eblnet::sim

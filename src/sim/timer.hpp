@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace eblnet::sim {
+
+/// A restartable one-shot timer bound to a fixed callback. Owns at most
+/// one pending event at a time; restarting cancels the previous one.
+/// Protocol state machines (MAC backoff, TCP RTO, AODV route expiry, ...)
+/// are built out of these.
+///
+/// The owner must outlive any pending expiry: cancel in the owner's
+/// destructor (or let the Scheduler be destroyed first, which drops all
+/// events without running them).
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> on_expire)
+      : sched_{&sched}, on_expire_{std::move(on_expire)} {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arm the timer to fire `delay` from now.
+  void schedule_in(Time delay) { schedule_at(sched_->now() + delay); }
+
+  /// (Re)arm the timer to fire at absolute time `at`.
+  void schedule_at(Time at) {
+    cancel();
+    expires_at_ = at;
+    id_ = sched_->schedule_at(at, [this] {
+      id_ = kInvalidEventId;
+      // Invoke a local copy: the expiry handler is allowed to destroy
+      // this Timer (e.g. a protocol erasing its own state machine), which
+      // would otherwise free the executing callable mid-call.
+      auto fn = on_expire_;
+      fn();
+    });
+  }
+
+  void cancel() {
+    if (id_ != kInvalidEventId) {
+      sched_->cancel(id_);
+      id_ = kInvalidEventId;
+    }
+  }
+
+  bool pending() const { return id_ != kInvalidEventId && sched_->is_pending(id_); }
+
+  /// Expiry time of the currently pending shot (meaningless when idle).
+  Time expires_at() const noexcept { return expires_at_; }
+
+ private:
+  Scheduler* sched_;
+  std::function<void()> on_expire_;
+  EventId id_{kInvalidEventId};
+  Time expires_at_{};
+};
+
+}  // namespace eblnet::sim

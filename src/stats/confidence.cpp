@@ -1,0 +1,76 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eblnet::stats {
+namespace {
+
+// Two-sided critical values t_{alpha/2, dof} for dof = 1..30.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+                             1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+                             1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+                             2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+                             2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+                             3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+                             2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+}  // namespace
+
+double student_t_critical(std::uint64_t dof, double confidence) {
+  const double* table = nullptr;
+  double z = 0.0;
+  if (confidence == 0.90) {
+    table = kT90;
+    z = 1.645;
+  } else if (confidence == 0.95) {
+    table = kT95;
+    z = 1.960;
+  } else if (confidence == 0.99) {
+    table = kT99;
+    z = 2.576;
+  } else {
+    throw std::invalid_argument{"student_t_critical: unsupported confidence level"};
+  }
+  if (dof == 0) throw std::invalid_argument{"student_t_critical: dof must be >= 1"};
+  if (dof <= 30) return table[dof - 1];
+  // Interpolation between the dof=30 value and the normal limit keeps the
+  // value monotone in dof.
+  if (dof <= 120) {
+    const double t30 = table[29];
+    const double f = (static_cast<double>(dof) - 30.0) / 90.0;
+    return t30 + (z - t30) * f;
+  }
+  return z;
+}
+
+ConfidenceInterval mean_confidence_interval(const Summary& s, double confidence) {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.samples = s.count();
+  ci.mean = s.mean();
+  if (s.count() < 2) return ci;  // half_width stays 0: no variance estimate.
+  const double t = student_t_critical(s.count() - 1, confidence);
+  ci.half_width = t * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+  return ci;
+}
+
+ConfidenceInterval batch_means_confidence_interval(const std::vector<double>& series,
+                                                   std::size_t num_batches, double confidence) {
+  if (num_batches < 2) throw std::invalid_argument{"batch means: need at least 2 batches"};
+  if (series.size() < num_batches)
+    throw std::invalid_argument{"batch means: series shorter than batch count"};
+  const std::size_t batch_len = series.size() / num_batches;
+  Summary batch_means;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = b * batch_len; i < (b + 1) * batch_len; ++i) sum += series[i];
+    batch_means.add(sum / static_cast<double>(batch_len));
+  }
+  return mean_confidence_interval(batch_means, confidence);
+}
+
+}  // namespace eblnet::stats

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace eblnet::stats {
+
+/// Two-sided Student-t critical value t_{alpha/2, dof} for the given
+/// confidence level (e.g. 0.95). Uses a table for small dof and the
+/// normal approximation beyond it. Supported levels: 0.90, 0.95, 0.99.
+double student_t_critical(std::uint64_t dof, double confidence);
+
+/// A mean-confidence-interval analysis in the style the paper reports:
+/// "the actual average is within H of the observed value, with 95%
+/// confidence and R% relative precision".
+struct ConfidenceInterval {
+  double mean{0.0};
+  double half_width{0.0};   ///< H: half-width of the interval.
+  double confidence{0.95};  ///< confidence level used.
+  std::uint64_t samples{0};
+
+  double lower() const noexcept { return mean - half_width; }
+  double upper() const noexcept { return mean + half_width; }
+
+  /// Relative precision = half_width / |mean| (0 when mean == 0).
+  double relative_precision() const noexcept {
+    return mean == 0.0 ? 0.0 : half_width / (mean < 0 ? -mean : mean);
+  }
+};
+
+/// CI of the mean from i.i.d. samples summarised in `s`.
+ConfidenceInterval mean_confidence_interval(const Summary& s, double confidence = 0.95);
+
+/// CI of the mean of a *correlated* series (e.g. a throughput time
+/// series) via the method of batch means: the series is split into
+/// `num_batches` contiguous batches whose means are treated as
+/// approximately independent samples. Requires series.size() >= num_batches.
+ConfidenceInterval batch_means_confidence_interval(const std::vector<double>& series,
+                                                   std::size_t num_batches = 10,
+                                                   double confidence = 0.95);
+
+}  // namespace eblnet::stats

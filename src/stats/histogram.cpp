@@ -1,0 +1,46 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eblnet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo} {
+  if (!(hi > lo)) throw std::invalid_argument{"Histogram: hi must exceed lo"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: need at least one bin"};
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"Histogram: quantile must be in [0,1]"};
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+}  // namespace eblnet::stats

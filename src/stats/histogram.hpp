@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eblnet::stats {
+
+/// Fixed-width histogram over [lo, hi) with out-of-range samples counted
+/// in underflow/overflow buckets. Used by benches to characterise delay
+/// distributions beyond the min/avg/max the paper reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bin_lo(std::size_t bin) const noexcept { return lo_ + width_ * static_cast<double>(bin); }
+  double bin_hi(std::size_t bin) const noexcept { return bin_lo(bin) + width_; }
+
+  /// x such that `q` (in [0,1]) of samples fall below it, estimated by
+  /// linear interpolation within the containing bin. Out-of-range mass is
+  /// clamped to the histogram edges.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+  std::uint64_t total_{0};
+};
+
+}  // namespace eblnet::stats

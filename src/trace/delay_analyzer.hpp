@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "net/trace_sink.hpp"
+#include "stats/summary.hpp"
+
+namespace eblnet::trace {
+
+/// One matched data packet: first agent-level send at the source paired
+/// with the first agent-level receive at the destination.
+struct DelaySample {
+  net::NodeId src{};
+  net::NodeId dst{};
+  std::uint64_t seq{};  ///< per-flow packet id (the figures' x axis)
+  sim::Time sent{};
+  sim::Time received{};
+
+  double delay_seconds() const noexcept { return (received - sent).to_seconds(); }
+};
+
+/// Offline one-way-delay analysis of a trace — the computation the paper
+/// performs "offline by parsing the trace file". Matching key is
+/// (ip_src, ip_dst, app_seq) over data packets (TCP/UDP payloads), so
+/// MAC retransmissions and forwarding do not produce duplicates.
+class DelayAnalyzer {
+ public:
+  explicit DelayAnalyzer(const std::vector<net::TraceRecord>& records);
+
+  /// Samples for one flow, ordered by packet id.
+  std::vector<DelaySample> flow(net::NodeId src, net::NodeId dst) const;
+
+  /// Samples for every flow whose destination is `dst`.
+  std::vector<DelaySample> to_destination(net::NodeId dst) const;
+
+  /// Every matched sample.
+  const std::vector<DelaySample>& all() const noexcept { return samples_; }
+
+  /// Packets sent but never received (lost or still in flight at the end).
+  std::uint64_t unmatched_sends() const noexcept { return unmatched_; }
+
+  static stats::Summary summarize(const std::vector<DelaySample>& samples);
+
+  /// Delay of the first packet of the flow (the paper's stopping-distance
+  /// analysis uses the initial packet's delay). Returns a negative value
+  /// when the flow is empty.
+  static double initial_packet_delay_seconds(const std::vector<DelaySample>& samples);
+
+ private:
+  std::vector<DelaySample> samples_;
+  std::uint64_t unmatched_{0};
+};
+
+}  // namespace eblnet::trace

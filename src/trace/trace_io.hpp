@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/trace_sink.hpp"
+
+namespace eblnet::trace {
+
+/// Serialise records in an NS-2-flavoured text format, one event per line:
+///
+///   s 2.013000000 _0_ AGT 123 tcp 1040 0 2 17 -
+///   D 2.144000000 _1_ IFQ 140 tcp 1040 0 2 25 IFQ
+///
+/// columns: action time _node_ layer uid type size ip_src ip_dst app_seq
+/// reason ("-" when empty; broadcast addresses print as "*").
+void write_trace(std::ostream& os, const std::vector<net::TraceRecord>& records);
+
+/// One record as a single formatted line (no trailing newline).
+std::string format_record(const net::TraceRecord& r);
+
+/// Parse the format produced by write_trace. Throws std::runtime_error
+/// on malformed input (with the offending line number).
+std::vector<net::TraceRecord> parse_trace(std::istream& is);
+
+/// A trace sink that streams records straight to a file instead of
+/// buffering them in memory — for long runs whose traces are analysed
+/// offline (the NS-2 workflow the paper followed: simulate, then parse
+/// the trace file).
+class FileTraceSink final : public net::TraceSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit FileTraceSink(const std::string& path);
+  ~FileTraceSink() override;
+
+  void record(const net::TraceRecord& r) override;
+  std::uint64_t count() const noexcept { return count_; }
+  void flush();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t count_{0};
+};
+
+}  // namespace eblnet::trace

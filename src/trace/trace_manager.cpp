@@ -1,0 +1,23 @@
+#include "trace/trace_manager.hpp"
+
+namespace eblnet::trace {
+
+std::size_t TraceManager::count(net::TraceAction action, net::TraceLayer layer) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.action == action && r.layer == layer) ++n;
+  }
+  return n;
+}
+
+std::vector<net::TraceRecord> TraceManager::drops(const std::string& reason) const {
+  std::vector<net::TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.action != net::TraceAction::kDrop) continue;
+    if (!reason.empty() && r.reason != reason) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace eblnet::trace

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "net/trace_sink.hpp"
+
+namespace eblnet::trace {
+
+/// In-memory trace collector. Attach to net::Env before building the
+/// scenario; the offline analyzers (DelayAnalyzer, drop accounting)
+/// consume `records()` after the run, and trace_io can round-trip the
+/// records through the NS-2-like text format.
+class TraceManager final : public net::TraceSink {
+ public:
+  void record(const net::TraceRecord& r) override { records_.push_back(r); }
+
+  const std::vector<net::TraceRecord>& records() const noexcept { return records_; }
+  void clear() { records_.clear(); }
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Number of records matching the given action/layer (for tests and
+  /// drop accounting).
+  std::size_t count(net::TraceAction action, net::TraceLayer layer) const;
+
+  /// All drop records, optionally filtered by reason.
+  std::vector<net::TraceRecord> drops(const std::string& reason = {}) const;
+
+ private:
+  std::vector<net::TraceRecord> records_;
+};
+
+}  // namespace eblnet::trace

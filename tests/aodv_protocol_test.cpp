@@ -1,0 +1,265 @@
+// Message-level AODV tests: crafted RREQ/RREP/RERR packets injected
+// through a stub MAC, so each RFC 3561 rule is checked in isolation
+// (complementing the end-to-end suite in aodv_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include "net/env.hpp"
+#include "routing/aodv.hpp"
+#include "stub_mac.hpp"
+
+namespace eblnet::routing {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+class AodvProtocol : public ::testing::Test {
+ protected:
+  AodvProtocol() : mac{kSelf}, agent{env, kSelf} {
+    agent.attach_mac(&mac);
+    // Replicate net::Node's wiring: received frames flow to route_input.
+    mac.set_rx_callback([this](net::Packet p) { agent.route_input(std::move(p)); });
+    agent.set_deliver_callback([this](net::Packet p) { delivered.push_back(std::move(p)); });
+  }
+
+  static constexpr net::NodeId kSelf = 10;
+
+  net::Packet rreq(net::NodeId origin, std::uint32_t origin_seq, net::NodeId dst,
+                   std::uint32_t bcast_id, std::uint8_t hop_count = 0, std::uint8_t ttl = 8,
+                   bool dst_seq_unknown = true, std::uint32_t dst_seq = 0) {
+    net::Packet p;
+    p.uid = env.alloc_uid();
+    p.type = net::PacketType::kAodvRreq;
+    p.ip.emplace();
+    p.ip->src = origin;
+    p.ip->dst = net::kBroadcastAddress;
+    p.ip->ttl = ttl;
+    net::AodvRreqHeader h;
+    h.origin = origin;
+    h.origin_seqno = origin_seq;
+    h.dst = dst;
+    h.bcast_id = bcast_id;
+    h.hop_count = hop_count;
+    h.dst_seqno_unknown = dst_seq_unknown;
+    h.dst_seqno = dst_seq;
+    p.aodv = h;
+    return p;
+  }
+
+  net::Packet rrep(net::NodeId dst, std::uint32_t dst_seq, net::NodeId origin,
+                   std::uint8_t hop_count = 0) {
+    net::Packet p;
+    p.uid = env.alloc_uid();
+    p.type = net::PacketType::kAodvRrep;
+    p.ip.emplace();
+    p.ip->src = dst;
+    p.ip->dst = origin;
+    p.ip->ttl = 8;
+    net::AodvRrepHeader h;
+    h.dst = dst;
+    h.dst_seqno = dst_seq;
+    h.origin = origin;
+    h.hop_count = hop_count;
+    h.lifetime = 10_s;
+    p.aodv = h;
+    return p;
+  }
+
+  net::Packet data(net::NodeId src, net::NodeId dst) {
+    net::Packet p;
+    p.uid = env.alloc_uid();
+    p.type = net::PacketType::kTcpData;
+    p.payload_bytes = 100;
+    p.ip.emplace();
+    p.ip->src = src;
+    p.ip->dst = dst;
+    return p;
+  }
+
+  net::Env env{3};
+  eblnet::testing::StubMac mac;
+  Aodv agent;
+  std::vector<net::Packet> delivered;
+};
+
+TEST_F(AodvProtocol, RreqForOurAddressTriggersRrep) {
+  mac.inject(rreq(/*origin=*/1, /*origin_seq=*/5, /*dst=*/kSelf, /*bcast_id=*/1), /*from=*/1);
+  ASSERT_EQ(mac.count_of(net::PacketType::kAodvRrep), 1u);
+  const net::Packet* rep = mac.first_of(net::PacketType::kAodvRrep);
+  const auto& h = std::get<net::AodvRrepHeader>(*rep->aodv);
+  EXPECT_EQ(h.dst, kSelf);
+  EXPECT_EQ(h.origin, 1u);
+  EXPECT_EQ(h.hop_count, 0);
+  EXPECT_EQ(rep->mac->dst, 1u);  // unicast along the reverse route
+  // And the reverse route to the originator exists.
+  EXPECT_TRUE(agent.has_valid_route(1));
+  EXPECT_EQ(agent.route(1)->hop_count, 1);
+}
+
+TEST_F(AodvProtocol, RreqForUnknownDstIsRebroadcastWithIncrementedHopCount) {
+  mac.inject(rreq(1, 5, /*dst=*/99, 1, /*hop_count=*/2, /*ttl=*/8), 1);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRrep), 0u);
+  env.scheduler().run_until(100_ms);  // rebroadcast jitter
+  ASSERT_EQ(mac.count_of(net::PacketType::kAodvRreq), 1u);
+  const net::Packet* fwd = mac.first_of(net::PacketType::kAodvRreq);
+  const auto& h = std::get<net::AodvRreqHeader>(*fwd->aodv);
+  EXPECT_EQ(h.hop_count, 3);
+  EXPECT_EQ(fwd->ip->ttl, 7);
+  EXPECT_EQ(fwd->mac->dst, net::kBroadcastAddress);
+}
+
+TEST_F(AodvProtocol, DuplicateRreqIsDroppedByBcastIdCache) {
+  mac.inject(rreq(1, 5, 99, 1), 1);
+  mac.inject(rreq(1, 5, 99, 1, 1), 2);  // same flood via another neighbour
+  env.scheduler().run_until(100_ms);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRreq), 1u);
+}
+
+TEST_F(AodvProtocol, RreqWithExhaustedTtlIsNotForwarded) {
+  mac.inject(rreq(1, 5, 99, 1, 0, /*ttl=*/1), 1);
+  env.scheduler().run_until(100_ms);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRreq), 0u);
+}
+
+TEST_F(AodvProtocol, IntermediateWithFreshRouteAnswersRreq) {
+  // Teach the agent a route to 99 (seq 10) via an RREP.
+  mac.inject(rrep(/*dst=*/99, /*dst_seq=*/10, /*origin=*/kSelf, /*hop_count=*/1), /*from=*/7);
+  ASSERT_TRUE(agent.has_valid_route(99));
+  // An RREQ for 99 asking for seq <= 10 gets an intermediate RREP.
+  mac.inject(rreq(1, 5, 99, 2, 0, 8, /*dst_seq_unknown=*/false, /*dst_seq=*/10), 1);
+  ASSERT_EQ(mac.count_of(net::PacketType::kAodvRrep), 1u);
+  const auto& h = std::get<net::AodvRrepHeader>(*mac.first_of(net::PacketType::kAodvRrep)->aodv);
+  EXPECT_EQ(h.dst_seqno, 10u);
+  EXPECT_EQ(h.hop_count, 2);  // our stored hop count toward 99
+}
+
+TEST_F(AodvProtocol, IntermediateWithStaleRouteFloodsInstead) {
+  mac.inject(rrep(99, /*dst_seq=*/10, kSelf, 1), 7);
+  // The RREQ demands something fresher than what we hold.
+  mac.inject(rreq(1, 5, 99, 3, 0, 8, false, /*dst_seq=*/12), 1);
+  env.scheduler().run_until(100_ms);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRrep), 0u);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRreq), 1u);
+}
+
+TEST_F(AodvProtocol, RrepInstallsRouteAndForwardsTowardOrigin) {
+  // Reverse route to origin 1 via neighbour 2.
+  mac.inject(rreq(1, 5, 99, 1), 2);
+  mac.sent.clear();
+  // RREP for 99 arrives from neighbour 7.
+  mac.inject(rrep(99, 10, /*origin=*/1, /*hop_count=*/1), 7);
+  ASSERT_TRUE(agent.has_valid_route(99));
+  EXPECT_EQ(agent.route(99)->next_hop, 7u);
+  EXPECT_EQ(agent.route(99)->hop_count, 2);
+  ASSERT_EQ(mac.count_of(net::PacketType::kAodvRrep), 1u);
+  const net::Packet* fwd = mac.first_of(net::PacketType::kAodvRrep);
+  EXPECT_EQ(fwd->mac->dst, 2u);  // toward the originator's reverse route
+  EXPECT_EQ(std::get<net::AodvRrepHeader>(*fwd->aodv).hop_count, 2);
+}
+
+TEST_F(AodvProtocol, StaleRrepDoesNotOverwriteFresherRoute) {
+  mac.inject(rrep(99, /*dst_seq=*/10, kSelf, /*hops=*/1), 7);
+  ASSERT_EQ(agent.route(99)->next_hop, 7u);
+  // An older seqno via a shorter path must be ignored.
+  mac.inject(rrep(99, /*dst_seq=*/8, kSelf, /*hops=*/0), 8);
+  EXPECT_EQ(agent.route(99)->next_hop, 7u);
+  EXPECT_EQ(agent.route(99)->seqno, 10u);
+  // Same seqno, shorter path wins.
+  mac.inject(rrep(99, /*dst_seq=*/10, kSelf, /*hops=*/0), 9);
+  EXPECT_EQ(agent.route(99)->next_hop, 9u);
+}
+
+TEST_F(AodvProtocol, DataForValidRouteGoesToNextHop) {
+  mac.inject(rrep(99, 10, kSelf, 1), 7);
+  mac.sent.clear();
+  agent.route_output(data(kSelf, 99));
+  ASSERT_EQ(mac.sent.size(), 1u);
+  EXPECT_EQ(mac.sent[0].mac->dst, 7u);
+}
+
+TEST_F(AodvProtocol, ForwardedDataDecrementsTtlAndRefreshesRoute) {
+  mac.inject(rrep(99, 10, kSelf, 1), 7);
+  mac.sent.clear();
+  net::Packet p = data(1, 99);
+  p.ip->ttl = 5;
+  mac.inject(std::move(p), 2);
+  ASSERT_EQ(mac.sent.size(), 1u);
+  EXPECT_EQ(mac.sent[0].ip->ttl, 4);
+  EXPECT_EQ(agent.stats().data_forwarded, 1u);
+}
+
+TEST_F(AodvProtocol, MidPathHoleSendsRerr) {
+  // Forwarding data for an unknown destination from another node.
+  mac.inject(data(1, 55), 2);
+  EXPECT_TRUE(delivered.empty());
+  env.scheduler().run_until(100_ms);  // RERR broadcasts carry jitter
+  ASSERT_EQ(mac.count_of(net::PacketType::kAodvRerr), 1u);
+  EXPECT_EQ(agent.stats().data_no_route_dropped, 1u);
+}
+
+TEST_F(AodvProtocol, LinkFailureInvalidatesRoutesAndEmitsRerrToPrecursors) {
+  // Build a route to 99 via 7 with a precursor (node 2 routed through us).
+  mac.inject(rreq(1, 5, 99, 1), 2);
+  mac.inject(rrep(99, 10, 1, 1), 7);
+  mac.sent.clear();
+  // Send data so there is a frame to fail, then fail the link to 7.
+  net::Packet p = data(1, 99);
+  p.ip->ttl = 5;
+  mac.inject(std::move(p), 2);
+  ASSERT_EQ(mac.sent.size(), 1u);
+  mac.fail_next(7);
+  env.scheduler().run_until(100_ms);
+  EXPECT_FALSE(agent.has_valid_route(99));
+  EXPECT_GE(mac.count_of(net::PacketType::kAodvRerr), 1u);
+  const auto& h = std::get<net::AodvRerrHeader>(*mac.first_of(net::PacketType::kAodvRerr)->aodv);
+  // The RERR lists 99 (and possibly the neighbour route to 7 itself).
+  bool found_99 = false;
+  for (const auto& u : h.unreachable) {
+    if (u.dst == 99) {
+      found_99 = true;
+      EXPECT_EQ(u.seqno, 11u);  // bumped on invalidation
+    }
+  }
+  EXPECT_TRUE(found_99);
+}
+
+TEST_F(AodvProtocol, ReceivedRerrInvalidatesMatchingRoutesOnly) {
+  mac.inject(rrep(99, 10, kSelf, 1), 7);
+  mac.inject(rrep(88, 4, kSelf, 1), 6);
+  net::Packet p;
+  p.uid = env.alloc_uid();
+  p.type = net::PacketType::kAodvRerr;
+  p.ip.emplace();
+  p.ip->src = 7;
+  p.ip->dst = net::kBroadcastAddress;
+  net::AodvRerrHeader h;
+  h.unreachable.push_back({99, 11});
+  h.unreachable.push_back({88, 5});  // but our route to 88 is via 6, not 7
+  p.aodv = h;
+  mac.inject(std::move(p), 7);
+  EXPECT_FALSE(agent.has_valid_route(99));
+  EXPECT_TRUE(agent.has_valid_route(88));
+}
+
+TEST_F(AodvProtocol, LocalDataWithoutRouteStartsDiscovery) {
+  agent.route_output(data(kSelf, 42));
+  env.scheduler().run_until(100_ms);
+  EXPECT_EQ(mac.count_of(net::PacketType::kAodvRreq), 1u);
+  EXPECT_EQ(agent.stats().discoveries_started, 1u);
+  // The data packet is buffered, not sent and not dropped.
+  EXPECT_EQ(mac.count_of(net::PacketType::kTcpData), 0u);
+  // When the RREP arrives, the buffer flushes.
+  mac.inject(rrep(42, 1, kSelf, 0), 42);
+  EXPECT_EQ(mac.count_of(net::PacketType::kTcpData), 1u);
+}
+
+TEST_F(AodvProtocol, BroadcastDataDeliversLocallyAndIsNotForwarded) {
+  net::Packet p = data(1, net::kBroadcastAddress);
+  mac.inject(std::move(p), 2);
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(mac.count_of(net::PacketType::kTcpData), 0u);
+}
+
+}  // namespace
+}  // namespace eblnet::routing

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/trial.hpp"
+#include "mac/arp.hpp"
+#include "test_net.hpp"
+#include "transport/udp.hpp"
+
+namespace eblnet::mac {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+net::Packet data_to(net::Env& env, net::NodeId dst, std::uint64_t seq = 0) {
+  net::Packet p;
+  p.uid = env.alloc_uid();
+  p.type = net::PacketType::kTcpData;
+  p.payload_bytes = 500;
+  p.app_seq = seq;
+  p.mac.emplace();
+  p.mac->dst = dst;
+  return p;
+}
+
+class ArpFixture : public ::testing::Test {
+ protected:
+  eblnet::testing::TestNet net{41};
+  std::vector<ArpLayer*> arps;
+
+  /// Node with 802.11 wrapped in ARP; returns the ARP layer.
+  ArpLayer& add_arp_node(mobility::Vec2 pos, ArpParams params = {}) {
+    net::Node& node = net.add_node(pos);
+    auto inner = std::make_unique<Mac80211>(net.env(), node.id(), net.phy(node.id()),
+                                            std::make_unique<queue::PriQueue>());
+    auto arp = std::make_unique<ArpLayer>(net.env(), std::move(inner), params);
+    auto* raw = arp.get();
+    node.set_mac(std::move(arp));
+    arps.push_back(raw);
+    return *raw;
+  }
+};
+
+TEST_F(ArpFixture, FirstUnicastTriggersResolutionThenDelivers) {
+  auto& a = add_arp_node({0.0, 0.0});
+  auto& b = add_arp_node({10.0, 0.0});
+  std::vector<net::Packet> got;
+  b.set_rx_callback([&](net::Packet p) { got.push_back(std::move(p)); });
+
+  EXPECT_FALSE(a.is_resolved(1));
+  a.enqueue(data_to(net.env(), 1));
+  net.run_for(100_ms);
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].type, net::PacketType::kTcpData);
+  EXPECT_TRUE(a.is_resolved(1));
+  EXPECT_EQ(a.requests_sent(), 1u);
+  EXPECT_EQ(b.replies_sent(), 1u);
+}
+
+TEST_F(ArpFixture, SubsequentUnicastsSkipResolution) {
+  auto& a = add_arp_node({0.0, 0.0});
+  auto& b = add_arp_node({10.0, 0.0});
+  int got = 0;
+  b.set_rx_callback([&](net::Packet) { ++got; });
+  a.enqueue(data_to(net.env(), 1, 0));
+  net.run_for(100_ms);
+  a.enqueue(data_to(net.env(), 1, 1));
+  a.enqueue(data_to(net.env(), 1, 2));
+  net.run_for(100_ms);
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(a.requests_sent(), 1u);  // resolution happened once
+}
+
+TEST_F(ArpFixture, ResolutionAddsMeasurableFirstPacketLatency) {
+  // Compare the first-delivery instant with and without ARP.
+  Time with_arp{}, without_arp{};
+  {
+    eblnet::testing::TestNet local{41};
+    net::Node& n0 = local.add_node({0.0, 0.0});
+    auto inner0 = std::make_unique<Mac80211>(local.env(), 0, local.phy(0),
+                                             std::make_unique<queue::PriQueue>());
+    auto arp0 = std::make_unique<ArpLayer>(local.env(), std::move(inner0));
+    auto* a = arp0.get();
+    n0.set_mac(std::move(arp0));
+    net::Node& n1 = local.add_node({10.0, 0.0});
+    auto inner1 = std::make_unique<Mac80211>(local.env(), 1, local.phy(1),
+                                             std::make_unique<queue::PriQueue>());
+    auto arp1 = std::make_unique<ArpLayer>(local.env(), std::move(inner1));
+    arp1->set_rx_callback([&](net::Packet) { with_arp = local.env().now(); });
+    n1.set_mac(std::move(arp1));
+    net::Packet p;
+    p.uid = local.env().alloc_uid();
+    p.type = net::PacketType::kTcpData;
+    p.payload_bytes = 500;
+    p.mac.emplace();
+    p.mac->dst = 1;
+    a->enqueue(std::move(p));
+    local.run_for(100_ms);
+  }
+  {
+    eblnet::testing::TestNet local{41};
+    auto& a = local.with_80211(local.add_node({0.0, 0.0}));
+    auto& b = local.with_80211(local.add_node({10.0, 0.0}));
+    b.set_rx_callback([&](net::Packet) { without_arp = local.env().now(); });
+    net::Packet p;
+    p.uid = local.env().alloc_uid();
+    p.type = net::PacketType::kTcpData;
+    p.payload_bytes = 500;
+    p.mac.emplace();
+    p.mac->dst = 1;
+    a.enqueue(std::move(p));
+    local.run_for(100_ms);
+  }
+  ASSERT_FALSE(with_arp.is_zero());
+  ASSERT_FALSE(without_arp.is_zero());
+  // ARP costs a request + reply exchange before the data goes out.
+  EXPECT_GT((with_arp - without_arp).to_seconds(), 0.5e-3);
+}
+
+TEST_F(ArpFixture, HoldsOnePacketAndDisplacesOlder) {
+  ArpParams params;
+  auto& a = add_arp_node({0.0, 0.0}, params);
+  auto& b = add_arp_node({10.0, 0.0}, params);
+  std::vector<std::uint64_t> got;
+  b.set_rx_callback([&](net::Packet p) { got.push_back(p.app_seq); });
+
+  // Burst of three before resolution completes: only the newest survives.
+  a.enqueue(data_to(net.env(), 1, 0));
+  a.enqueue(data_to(net.env(), 1, 1));
+  a.enqueue(data_to(net.env(), 1, 2));
+  net.run_for(200_ms);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2u);
+  EXPECT_EQ(a.held_drops(), 2u);
+  EXPECT_EQ(net.tracer().drops("ARP").size(), 2u);
+}
+
+TEST_F(ArpFixture, UnresolvableDestinationGivesUpAfterRetries) {
+  ArpParams params;
+  params.max_retries = 2;
+  auto& a = add_arp_node({0.0, 0.0}, params);
+  a.enqueue(data_to(net.env(), 77));  // nobody out there
+  net.run_for(2_s);
+  EXPECT_EQ(a.requests_sent(), 3u);  // initial + 2 retries
+  EXPECT_FALSE(a.is_resolved(77));
+  EXPECT_GE(a.held_drops(), 1u);
+}
+
+TEST_F(ArpFixture, BroadcastsBypassArp) {
+  auto& a = add_arp_node({0.0, 0.0});
+  auto& b = add_arp_node({10.0, 0.0});
+  int got = 0;
+  b.set_rx_callback([&](net::Packet) { ++got; });
+  a.enqueue(data_to(net.env(), net::kBroadcastAddress));
+  net.run_for(50_ms);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(a.requests_sent(), 0u);
+}
+
+TEST_F(ArpFixture, OverhearingResolvesPassively) {
+  auto& a = add_arp_node({0.0, 0.0});
+  auto& b = add_arp_node({10.0, 0.0});
+  (void)a;
+  // b hears a broadcast from a: a is now resolved at b without a request.
+  a.enqueue(data_to(net.env(), net::kBroadcastAddress));
+  net.run_for(50_ms);
+  EXPECT_TRUE(b.is_resolved(0));
+  b.enqueue(data_to(net.env(), 0, 9));
+  net.run_for(50_ms);
+  EXPECT_EQ(b.requests_sent(), 0u);
+}
+
+TEST_F(ArpFixture, ScenarioWithArpStillReproducesTheTrials) {
+  core::ScenarioConfig cfg = core::make_trial_config(1000, core::MacType::k80211);
+  cfg.use_arp = true;
+  cfg.duration = sim::Time::seconds(std::int64_t{10});
+  const core::TrialResult r = core::run_trial(cfg);
+  EXPECT_GT(r.p1_middle.size(), 100u);
+  // ARP inflates the first notification but not the steady stream.
+  EXPECT_GT(r.p1_initial_packet_delay_s, 0.0);
+  EXPECT_LT(r.p1_delay_summary().mean(), 0.2);
+}
+
+}  // namespace
+}  // namespace eblnet::mac

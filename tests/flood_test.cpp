@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/flood.hpp"
+#include "test_net.hpp"
+
+namespace eblnet::core {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+class FloodFixture : public ::testing::Test {
+ protected:
+  eblnet::testing::TestNet net{37};
+  std::vector<std::unique_ptr<WarningFlood>> floods;
+
+  /// Chain of n nodes, `spacing` apart, 802.11 + static routing; every
+  /// node runs a WarningFlood on port 7000.
+  void build_chain(std::size_t n, double spacing, FloodParams params = {}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Node& node = net.add_node({spacing * static_cast<double>(i), 0.0});
+      net.with_80211(node);
+      net.with_static(node);
+      floods.push_back(std::make_unique<WarningFlood>(net.env(), node, 7000, params));
+    }
+  }
+};
+
+TEST_F(FloodFixture, SingleHopNeighborsWarnedDirectly) {
+  build_chain(3, 50.0);  // all in mutual range
+  std::vector<unsigned> hops(3, 0);
+  for (std::size_t i = 1; i < 3; ++i) {
+    floods[i]->set_on_warning([&, i](std::uint64_t, unsigned h) { hops[i] = h; });
+  }
+  floods[0]->originate(1);
+  net.run_for(1_s);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 1u);
+}
+
+TEST_F(FloodFixture, WarningCrossesMultipleHops) {
+  build_chain(6, 200.0);  // only adjacent nodes hear each other
+  std::vector<unsigned> hops(6, 0);
+  std::vector<Time> when(6);
+  for (std::size_t i = 1; i < 6; ++i) {
+    floods[i]->set_on_warning([&, i](std::uint64_t, unsigned h) {
+      hops[i] = h;
+      when[i] = net.env().now();
+    });
+  }
+  floods[0]->originate(42);
+  net.run_for(2_s);
+  for (std::size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(hops[i], i) << "vehicle " << i;
+    EXPECT_EQ(floods[i]->warnings_received(), 1u);
+  }
+  // Latency grows down the chain.
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_GT(when[i], when[i - 1]);
+}
+
+TEST_F(FloodFixture, EachNodeRebroadcastsAtMostOnce) {
+  build_chain(5, 50.0);  // dense: everyone hears everyone
+  floods[0]->originate(7);
+  net.run_for(1_s);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LE(floods[i]->rebroadcasts(), 1u) << i;
+    EXPECT_EQ(floods[i]->warnings_received(), 1u) << i;
+    // Dense topology means plenty of duplicate copies were suppressed.
+    EXPECT_GE(floods[i]->duplicates_suppressed(), 1u) << i;
+  }
+}
+
+TEST_F(FloodFixture, HopLimitStopsPropagation) {
+  FloodParams params;
+  params.hop_limit = 3;
+  build_chain(6, 200.0, params);
+  std::vector<bool> warned(6, false);
+  for (std::size_t i = 1; i < 6; ++i) {
+    floods[i]->set_on_warning([&, i](std::uint64_t, unsigned) { warned[i] = true; });
+  }
+  floods[0]->originate(9);
+  net.run_for(2_s);
+  EXPECT_TRUE(warned[1]);
+  EXPECT_TRUE(warned[2]);
+  EXPECT_TRUE(warned[3]);
+  EXPECT_FALSE(warned[4]);  // beyond the 3-hop budget
+  EXPECT_FALSE(warned[5]);
+}
+
+TEST_F(FloodFixture, DistinctWarningsAreDeliveredSeparately) {
+  build_chain(2, 50.0);
+  std::vector<std::uint64_t> ids;
+  floods[1]->set_on_warning([&](std::uint64_t id, unsigned) { ids.push_back(id); });
+  floods[0]->originate(100);
+  net.run_for(100_ms);
+  floods[0]->originate(101);
+  net.run_for(100_ms);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 100u);
+  EXPECT_EQ(ids[1], 101u);
+}
+
+TEST_F(FloodFixture, OriginatorIgnoresItsOwnEcho) {
+  build_chain(2, 50.0);
+  bool self_warned = false;
+  floods[0]->set_on_warning([&](std::uint64_t, unsigned) { self_warned = true; });
+  floods[0]->originate(5);
+  net.run_for(1_s);
+  EXPECT_FALSE(self_warned);
+  EXPECT_EQ(floods[0]->warnings_received(), 0u);
+}
+
+TEST_F(FloodFixture, ColumnOf20CoveredInMilliseconds) {
+  FloodParams params;
+  params.hop_limit = 25;
+  build_chain(20, 100.0, params);
+  Time tail_warned{};
+  floods[19]->set_on_warning([&](std::uint64_t, unsigned) { tail_warned = net.env().now(); });
+  floods[0]->originate(1);
+  net.run_for(5_s);
+  ASSERT_FALSE(tail_warned.is_zero());
+  EXPECT_LT(tail_warned.to_seconds(), 0.25);  // ms-scale, not driver-reaction scale
+}
+
+}  // namespace
+}  // namespace eblnet::core

@@ -1,0 +1,160 @@
+// End-to-end assertions of the paper's findings: each test runs a
+// (shortened) trial and checks the qualitative result the paper reports.
+// These are the executable form of EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "core/safety.hpp"
+#include "core/trial.hpp"
+
+namespace eblnet::core {
+namespace {
+
+ScenarioConfig shortened(ScenarioConfig cfg) {
+  cfg.duration = sim::Time::seconds(std::int64_t{32});
+  return cfg;
+}
+
+class PaperFindings : public ::testing::Test {
+ protected:
+  // Trials are shared across assertions; run once, lazily.
+  static const TrialResult& trial1() {
+    static const TrialResult r = run_trial(shortened(trial1_config()), "t1");
+    return r;
+  }
+  static const TrialResult& trial2() {
+    static const TrialResult r = run_trial(shortened(trial2_config()), "t2");
+    return r;
+  }
+  static const TrialResult& trial3() {
+    static const TrialResult r = run_trial(shortened(trial3_config()), "t3");
+    return r;
+  }
+};
+
+TEST_F(PaperFindings, PacketSizeDoesNotChangeTdmaDelay) {
+  // §III.E: "The one-way delay for trial 1 and trial 2 is essentially
+  // unchanged."
+  const double d1 = trial1().p1_delay_summary().mean();
+  const double d2 = trial2().p1_delay_summary().mean();
+  EXPECT_NEAR(d1 / d2, 1.0, 0.05);
+  EXPECT_NEAR(trial1().p1_steady_state_delay_s() / trial2().p1_steady_state_delay_s(), 1.0,
+              0.05);
+}
+
+TEST_F(PaperFindings, HalvingPacketSizeHalvesTdmaThroughput) {
+  // §III.E: "the reduced packet size results in a reduction in throughput".
+  // TDMA serves a fixed packet rate, so 500 B moves half the bytes of 1000 B.
+  const double t1 = trial1().p1_throughput_ci.mean;
+  const double t2 = trial2().p1_throughput_ci.mean;
+  EXPECT_NEAR(t1 / t2, 2.0, 0.1);
+}
+
+TEST_F(PaperFindings, Mac80211DelayFarBelowTdma) {
+  // §III.E: "the one-way delay for trial 3 was significantly less than
+  // the one-way delay for trial 1" (paper: ~0.9 s vs ~0.05 s).
+  const double tdma = trial1().p1_delay_summary().mean();
+  const double dcf = trial3().p1_delay_summary().mean();
+  EXPECT_GT(tdma / dcf, 5.0);
+}
+
+TEST_F(PaperFindings, Mac80211ThroughputAboveTdma) {
+  // §III.E: "The throughput for trial 3 was significantly greater than
+  // the throughput for trial 1."
+  EXPECT_GT(trial3().p1_throughput_ci.mean, trial1().p1_throughput_ci.mean * 2.0);
+}
+
+TEST_F(PaperFindings, DelaySettlesIntoSteadyState) {
+  // Figs. 5/6: a transient, then an approximately steady level. We check
+  // the late-stream delay is stable: the last-quarter mean is within 25%
+  // of the steady-state estimate.
+  const auto& flow = trial1().p1_middle;
+  ASSERT_GT(flow.size(), 80u);
+  stats::Summary late;
+  for (std::size_t i = flow.size() * 3 / 4; i < flow.size(); ++i)
+    late.add(flow[i].delay_seconds());
+  const double steady = trial1().p1_steady_state_delay_s();
+  EXPECT_NEAR(late.mean() / steady, 1.0, 0.25);
+}
+
+TEST_F(PaperFindings, TransientDetectedByMserIsShort) {
+  // The paper eyeballs the transient ending "approximately packet 50"
+  // under TDMA; MSER-5 on our trial-1 series lands at ~15 packets —
+  // same regime. (On trial 3's long noisy series MSER trims more, as the
+  // method is entitled to; we only require it stays below the half-cap.)
+  EXPECT_LE(trial1().p1_transient_end_mser(), 60u);
+  EXPECT_LT(trial3().p1_transient_end_mser(), trial3().p1_middle.size() / 2);
+}
+
+TEST_F(PaperFindings, ThroughputRampsWhenBrakingStarts) {
+  // Fig. 7: "The vehicles begin communicating at approximately 2 seconds."
+  const auto& series = trial1().p1_throughput;
+  const auto before = series.summarize(sim::Time::zero(), sim::Time::seconds(1.8));
+  const auto after = series.summarize(sim::Time::seconds(std::int64_t{5}),
+                                      sim::Time::seconds(std::int64_t{30}));
+  EXPECT_NEAR(before.max(), 0.0, 1e-9);
+  EXPECT_GT(after.mean(), 0.0);
+}
+
+TEST_F(PaperFindings, TdmaConsumesTheHeadwayBeforeNotification) {
+  // §III.E: under TDMA the trailing vehicle covers over 100% of the 5 m
+  // separation before the first notification.
+  const StoppingAssessment a{trial1().config.speed_mps, trial1().config.vehicle_gap_m,
+                             trial1().p1_initial_packet_delay_s};
+  EXPECT_GT(a.fraction_of_headway(), 1.0);
+}
+
+TEST_F(PaperFindings, Mac80211NotifiesWithHeadwayToSpare) {
+  // §III.E: under 802.11 only a few percent of the separation is consumed
+  // (the paper reports ~8%).
+  const StoppingAssessment a{trial3().config.speed_mps, trial3().config.vehicle_gap_m,
+                             trial3().p1_initial_packet_delay_s};
+  EXPECT_LT(a.fraction_of_headway(), 0.25);
+  EXPECT_GT(a.fraction_of_headway(), 0.0);
+}
+
+TEST_F(PaperFindings, BothPlatoonsProduceComparableDelays) {
+  // §III.B-III.D report nearly identical per-vehicle statistics for the
+  // two platoons (same stack, same geometry).
+  const double p1 = trial3().p1_delay_summary().mean();
+  const double p2 = trial3().p2_delay_summary().mean();
+  EXPECT_GT(p2, 0.0);
+  EXPECT_LT(p1 / p2, 5.0);
+  EXPECT_GT(p1 / p2, 0.2);
+}
+
+TEST_F(PaperFindings, NoCollisionsUnderTdma) {
+  // The static slot schedule is collision-free even with both platoons
+  // active — the property that motivates TDMA despite its latency.
+  EXPECT_EQ(trial1().phy_collisions, 0u);
+  EXPECT_EQ(trial2().phy_collisions, 0u);
+}
+
+TEST_F(PaperFindings, ConfidenceAnalysisIsTight) {
+  // The paper reports ~5% relative precision at 95% confidence for the
+  // TDMA trials; our deterministic TDMA service is even tighter.
+  EXPECT_LT(trial1().p1_throughput_ci.relative_precision(), 0.05);
+  EXPECT_EQ(trial1().p1_throughput_ci.confidence, 0.95);
+}
+
+// Sweep: the MAC-vs-delay ordering holds for every packet size, not just
+// the paper's two points.
+class MacOrdering : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MacOrdering, TdmaDelayAlwaysAboveDcf) {
+  const std::size_t bytes = GetParam();
+  ScenarioConfig tdma = shortened(make_trial_config(bytes, MacType::kTdma));
+  ScenarioConfig dcf = shortened(make_trial_config(bytes, MacType::k80211));
+  tdma.duration = dcf.duration = sim::Time::seconds(std::int64_t{16});
+  const TrialResult rt = run_trial(tdma);
+  const TrialResult rd = run_trial(dcf);
+  EXPECT_GT(rt.p1_delay_summary().mean(), rd.p1_delay_summary().mean() * 3.0)
+      << "packet size " << bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketSizes, MacOrdering,
+                         ::testing::Values(std::size_t{250}, std::size_t{500},
+                                           std::size_t{1000}, std::size_t{1500}));
+
+}  // namespace
+}  // namespace eblnet::core

@@ -1,0 +1,155 @@
+// Parameterized timing properties of both MACs: the analytic service
+// formulas (which the calibration in DESIGN.md §5 rests on) must match
+// the simulated timings exactly, across rates and packet sizes.
+
+#include <gtest/gtest.h>
+
+#include "test_net.hpp"
+
+namespace eblnet::mac {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+net::Packet data_to(net::Env& env, net::NodeId dst, std::size_t payload) {
+  net::Packet p;
+  p.uid = env.alloc_uid();
+  p.type = net::PacketType::kTcpData;
+  p.payload_bytes = payload;
+  p.mac.emplace();
+  p.mac->dst = dst;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// 802.11: first-delivery instant = DIFS + PLCP + (payload+34B)*8/rate.
+// ---------------------------------------------------------------------------
+
+class DcfTimingSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(DcfTimingSweep, FirstDeliveryMatchesClosedForm) {
+  const auto [rate, payload] = GetParam();
+  eblnet::testing::TestNet net;
+  Mac80211Params params;
+  params.data_rate_bps = rate;
+  auto& a = net.with_80211(net.add_node({0.0, 0.0}), params);
+  auto& b = net.with_80211(net.add_node({10.0, 0.0}), params);
+  Time delivered{};
+  b.set_rx_callback([&](net::Packet) { delivered = net.env().now(); });
+  a.enqueue(data_to(net.env(), 1, payload));
+  net.run_for(100_ms);
+
+  const double expect_s =
+      params.difs.to_seconds() + params.plcp_overhead.to_seconds() +
+      static_cast<double>(payload + params.data_header_bytes) * 8.0 / rate;
+  ASSERT_FALSE(delivered.is_zero());
+  EXPECT_NEAR(delivered.to_seconds(), expect_s, 1e-6)
+      << "rate=" << rate << " payload=" << payload;
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndSizes, DcfTimingSweep,
+                         ::testing::Combine(::testing::Values(1e6, 2e6, 5.5e6, 11e6),
+                                            ::testing::Values(std::size_t{100},
+                                                              std::size_t{500},
+                                                              std::size_t{1000},
+                                                              std::size_t{1500})));
+
+// ---------------------------------------------------------------------------
+// 802.11: ACK turnaround means the sender can start its next frame no
+// earlier than data + SIFS + ACK + DIFS after the previous start.
+// ---------------------------------------------------------------------------
+
+TEST(DcfTimingTest, BackToBackFramesRespectAckTurnaround) {
+  eblnet::testing::TestNet net;
+  Mac80211Params params;
+  auto& a = net.with_80211(net.add_node({0.0, 0.0}), params);
+  net.with_80211(net.add_node({10.0, 0.0}));
+  a.enqueue(data_to(net.env(), 1, 1000));
+  a.enqueue(data_to(net.env(), 1, 1000));
+  net.run_for(100_ms);
+
+  std::vector<Time> sends;
+  for (const auto& rec : net.tracer().records()) {
+    if (rec.action == net::TraceAction::kSend && rec.layer == net::TraceLayer::kMac &&
+        rec.node == 0) {
+      sends.push_back(rec.t);
+    }
+  }
+  ASSERT_EQ(sends.size(), 2u);
+  const double data_air = params.plcp_overhead.to_seconds() +
+                          (1000.0 + 34.0) * 8.0 / params.data_rate_bps;
+  const double ack_air =
+      params.plcp_overhead.to_seconds() + 14.0 * 8.0 / params.basic_rate_bps;
+  const double min_gap =
+      data_air + params.sifs.to_seconds() + ack_air + params.difs.to_seconds();
+  EXPECT_GE((sends[1] - sends[0]).to_seconds(), min_gap - 1e-9);
+  // And no more than the post-backoff worst case (cw_min slots) behind.
+  const double max_gap = min_gap + (params.cw_min + 1) * params.slot_time.to_seconds() + 1e-4;
+  EXPECT_LE((sends[1] - sends[0]).to_seconds(), max_gap);
+}
+
+// ---------------------------------------------------------------------------
+// TDMA: sustained unicast service rate is exactly one packet per frame.
+// ---------------------------------------------------------------------------
+
+class TdmaServiceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(TdmaServiceSweep, ThroughputEqualsOnePacketPerFrame) {
+  const auto [slots, rate] = GetParam();
+  eblnet::testing::TestNet net;
+  TdmaParams t;
+  t.num_slots = slots;
+  t.data_rate_bps = rate;
+  auto& a = net.with_tdma(net.add_node({0.0, 0.0}), t, 0);
+  auto& b = net.with_tdma(net.add_node({10.0, 0.0}), t, 1);
+  int got = 0;
+  b.set_rx_callback([&](net::Packet) { ++got; });
+  for (int i = 0; i < 45; ++i) a.enqueue(data_to(net.env(), 1, 1000));
+
+  const Time runtime = Time::seconds(1.0);
+  net.run_for(runtime);
+  const auto frames = static_cast<int>(runtime / t.frame_duration());
+  const int expect = std::min(45, frames);
+  EXPECT_NEAR(got, expect, 1) << "slots=" << slots << " rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(FramesAndRates, TdmaServiceSweep,
+                         ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{6},
+                                                              std::size_t{16}),
+                                            ::testing::Values(2e6, 11e6)));
+
+// ---------------------------------------------------------------------------
+// TDMA: delivery latency of a single packet is bounded by one frame.
+// ---------------------------------------------------------------------------
+
+class TdmaLatencySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TdmaLatencySweep, SinglePacketWaitsAtMostOneFrame) {
+  const std::size_t slots = GetParam();
+  eblnet::testing::TestNet net;
+  TdmaParams t;
+  t.num_slots = slots;
+  auto& a = net.with_tdma(net.add_node({0.0, 0.0}), t, 0);
+  auto& b = net.with_tdma(net.add_node({10.0, 0.0}), t, 1);
+  Time delivered{};
+  b.set_rx_callback([&](net::Packet) { delivered = net.env().now(); });
+
+  // Enqueue at a random instant inside the frame.
+  const Time enqueue_at = net.env().rng().uniform_time(Time::zero(), t.frame_duration());
+  net.env().scheduler().schedule_at(enqueue_at, [&] { a.enqueue(data_to(net.env(), 1, 1000)); });
+  net.run_for(t.frame_duration() * 3);
+
+  ASSERT_FALSE(delivered.is_zero());
+  EXPECT_LE((delivered - enqueue_at).ns(),
+            (t.frame_duration() + t.slot_duration()).ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, TdmaLatencySweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{6}, std::size_t{16},
+                                           std::size_t{64}));
+
+}  // namespace
+}  // namespace eblnet::mac

@@ -1,0 +1,189 @@
+// Cross-cutting property tests: determinism, randomized stress, and
+// stack-wide invariants under parameter sweeps.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trial.hpp"
+#include "test_net.hpp"
+#include "trace/trace_io.hpp"
+#include "transport/tcp_sender.hpp"
+#include "transport/tcp_sink.hpp"
+#include "transport/udp.hpp"
+
+namespace eblnet {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+// ---------------------------------------------------------------------------
+// Determinism: identical configuration + seed => bit-identical trace.
+// ---------------------------------------------------------------------------
+
+class TraceDeterminism
+    : public ::testing::TestWithParam<std::tuple<core::MacType, std::uint64_t>> {};
+
+TEST_P(TraceDeterminism, IdenticalTracesForIdenticalSeeds) {
+  const auto [mac, seed] = GetParam();
+  std::string runs[2];
+  for (auto& out : runs) {
+    core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
+    cfg.seed = seed;
+    cfg.duration = 8_s;
+    core::EblScenario scenario{cfg};
+    scenario.run();
+    std::ostringstream os;
+    trace::write_trace(os, scenario.trace().records());
+    out = os.str();
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_FALSE(runs[0].empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TraceDeterminism,
+    ::testing::Combine(::testing::Values(core::MacType::kTdma, core::MacType::k80211),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{999})));
+
+TEST(TraceDeterminismTest, DifferentSeedsDivergeUnderContention) {
+  // 802.11 backoffs are random, so different seeds must yield different
+  // MAC timing.
+  std::string runs[2];
+  std::uint64_t seed = 1;
+  for (auto& out : runs) {
+    core::ScenarioConfig cfg = core::make_trial_config(1000, core::MacType::k80211);
+    cfg.seed = seed++;
+    cfg.duration = 8_s;
+    core::EblScenario scenario{cfg};
+    scenario.run();
+    std::ostringstream os;
+    trace::write_trace(os, scenario.trace().records());
+    out = os.str();
+  }
+  EXPECT_NE(runs[0], runs[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler stress: random schedule/cancel interleavings keep ordering.
+// ---------------------------------------------------------------------------
+
+class SchedulerStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerStress, FiringOrderIsNondecreasingUnderRandomCancels) {
+  sim::Scheduler sched;
+  sim::Rng rng{GetParam()};
+  std::vector<sim::EventId> ids;
+  sim::Time last_fired{};
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::Time at = rng.uniform_time(sim::Time::zero(), 10_s);
+    ids.push_back(sched.schedule_at(at, [&, at] {
+      EXPECT_GE(at, last_fired);
+      last_fired = at;
+      ++fired;
+      // Occasionally schedule more work from inside a callback.
+      if (rng.chance(0.05)) {
+        sched.schedule_in(rng.uniform_time(sim::Time::zero(), 1_s), [&] { ++fired; });
+      }
+    }));
+  }
+  // Cancel a random third.
+  std::uint64_t cancelled = 0;
+  for (const auto id : ids) {
+    if (rng.chance(0.33)) {
+      if (sched.is_pending(id)) {
+        sched.cancel(id);
+        ++cancelled;
+      }
+    }
+  }
+  sched.run();
+  EXPECT_GE(fired, 5000u - cancelled);
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerStress, ::testing::Values(3, 7, 11, 19));
+
+// ---------------------------------------------------------------------------
+// TCP under random loss: the stream is always delivered gap-free.
+// ---------------------------------------------------------------------------
+
+/// Queue dropping each data packet independently with probability p.
+class RandomLossQueue final : public queue::PriQueue {
+ public:
+  RandomLossQueue(double p, std::uint64_t seed) : p_{p}, rng_{seed} {}
+  bool enqueue(net::Packet pkt) override {
+    if (pkt.type == net::PacketType::kTcpData && rng_.chance(p_)) return false;
+    return queue::PriQueue::enqueue(std::move(pkt));
+  }
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+class TcpLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossSweep, StreamStaysGapFreeAndMakesProgress) {
+  const double loss = GetParam();
+  eblnet::testing::TestNet net{31};
+  net::Node& a = net.add_node({0.0, 0.0});
+  net.with_80211_queue(a, std::make_unique<RandomLossQueue>(loss, 5));
+  net.with_static(a);
+  net::Node& b = net.add_node({10.0, 0.0});
+  net.with_80211(b);
+  net.with_static(b);
+
+  transport::TcpParams params;
+  params.max_window = 12;
+  params.min_rto = 200_ms;
+  transport::TcpSender tx{a, 100, params};
+  transport::TcpSink rx{b, 200};
+  tx.connect(1, 200);
+  tx.set_infinite_data();
+  net.run_for(10_s);
+
+  // Progress: heavy loss triggers real RTO backoff, so scale the bar.
+  EXPECT_GT(rx.expected_minus_one(), loss < 0.1 ? 100 : 30) << "loss=" << loss;
+  // Integrity: everything acknowledged arrived in order without holes.
+  EXPECT_EQ(rx.in_order_bytes(), 1000u * static_cast<std::uint64_t>(rx.expected_minus_one() + 1));
+  // Conservation: the sender never believes more than the sink has.
+  EXPECT_LE(tx.highest_ack(), rx.expected_minus_one());
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep, ::testing::Values(0.0, 0.01, 0.05, 0.2));
+
+// ---------------------------------------------------------------------------
+// Stack-wide conservation: every delivered packet was sent exactly once.
+// ---------------------------------------------------------------------------
+
+class FlowConservation : public ::testing::TestWithParam<core::MacType> {};
+
+TEST_P(FlowConservation, AgentRecvNeverExceedsAgentSendPerFlow) {
+  core::ScenarioConfig cfg = core::make_trial_config(1000, GetParam());
+  cfg.duration = 12_s;
+  core::EblScenario scenario{cfg};
+  scenario.run();
+
+  std::map<std::tuple<net::NodeId, net::NodeId, std::uint64_t>, int> sends, recvs;
+  for (const auto& r : scenario.trace().records()) {
+    if (r.layer != net::TraceLayer::kAgent || r.type != net::PacketType::kTcpData) continue;
+    const auto key = std::make_tuple(r.ip_src, r.ip_dst, r.app_seq);
+    if (r.action == net::TraceAction::kSend) ++sends[key];
+    if (r.action == net::TraceAction::kRecv) ++recvs[key];
+  }
+  ASSERT_FALSE(sends.empty());
+  for (const auto& [key, n] : sends) EXPECT_EQ(n, 1) << "duplicate agent send";
+  for (const auto& [key, n] : recvs) {
+    EXPECT_EQ(n, 1) << "duplicate agent recv";
+    EXPECT_TRUE(sends.contains(key)) << "received a packet never sent";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Macs, FlowConservation,
+                         ::testing::Values(core::MacType::kTdma, core::MacType::k80211));
+
+}  // namespace
+}  // namespace eblnet

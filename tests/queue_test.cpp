@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "queue/drop_tail.hpp"
+
+namespace eblnet::queue {
+namespace {
+
+net::Packet data_packet(std::uint64_t uid, net::NodeId mac_dst = 1) {
+  net::Packet p;
+  p.uid = uid;
+  p.type = net::PacketType::kTcpData;
+  p.mac.emplace();
+  p.mac->dst = mac_dst;
+  return p;
+}
+
+net::Packet routing_packet(std::uint64_t uid) {
+  net::Packet p;
+  p.uid = uid;
+  p.type = net::PacketType::kAodvRreq;
+  p.mac.emplace();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// DropTailQueue
+// ---------------------------------------------------------------------------
+
+TEST(DropTailTest, FifoOrder) {
+  DropTailQueue q{10};
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  q.enqueue(data_packet(3));
+  EXPECT_EQ(q.length(), 3u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+  EXPECT_EQ(q.dequeue()->uid, 2u);
+  EXPECT_EQ(q.dequeue()->uid, 3u);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailTest, DropsArrivalsWhenFull) {
+  DropTailQueue q{2};
+  EXPECT_TRUE(q.enqueue(data_packet(1)));
+  EXPECT_TRUE(q.enqueue(data_packet(2)));
+  EXPECT_FALSE(q.enqueue(data_packet(3)));
+  EXPECT_EQ(q.drop_count(), 1u);
+  EXPECT_EQ(q.length(), 2u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);  // survivors untouched
+}
+
+TEST(DropTailTest, DropCallbackSeesVictimAndReason) {
+  DropTailQueue q{1};
+  std::uint64_t dropped_uid = 0;
+  std::string reason;
+  q.set_drop_callback([&](const net::Packet& p, const char* r) {
+    dropped_uid = p.uid;
+    reason = r;
+  });
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  EXPECT_EQ(dropped_uid, 2u);
+  EXPECT_EQ(reason, "IFQ");
+}
+
+TEST(DropTailTest, PeekDoesNotRemove) {
+  DropTailQueue q{5};
+  EXPECT_EQ(q.peek(), nullptr);
+  q.enqueue(data_packet(9));
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(q.peek()->uid, 9u);
+  EXPECT_EQ(q.length(), 1u);
+}
+
+TEST(DropTailTest, RemoveByNextHopExtractsMatches) {
+  DropTailQueue q{10};
+  q.enqueue(data_packet(1, 5));
+  q.enqueue(data_packet(2, 6));
+  q.enqueue(data_packet(3, 5));
+  const auto removed = q.remove_by_next_hop(5);
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].uid, 1u);
+  EXPECT_EQ(removed[1].uid, 3u);
+  EXPECT_EQ(q.length(), 1u);
+  EXPECT_EQ(q.peek()->uid, 2u);
+}
+
+TEST(DropTailTest, ZeroCapacityRejected) {
+  EXPECT_THROW(DropTailQueue{0}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PriQueue
+// ---------------------------------------------------------------------------
+
+TEST(PriQueueTest, RoutingPacketsJumpTheLine) {
+  PriQueue q{10};
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  q.enqueue(routing_packet(100));
+  EXPECT_EQ(q.dequeue()->uid, 100u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+}
+
+TEST(PriQueueTest, MultipleRoutingPacketsAreLifoAmongThemselves) {
+  // NS-2 PriQueue head-inserts each control packet, so the newest control
+  // packet is dequeued first.
+  PriQueue q{10};
+  q.enqueue(routing_packet(100));
+  q.enqueue(routing_packet(101));
+  q.enqueue(data_packet(1));
+  EXPECT_EQ(q.dequeue()->uid, 101u);
+  EXPECT_EQ(q.dequeue()->uid, 100u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+}
+
+TEST(PriQueueTest, FullQueueDisplacesNewestDataForControl) {
+  PriQueue q{3};
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  q.enqueue(data_packet(3));
+  std::uint64_t dropped = 0;
+  q.set_drop_callback([&](const net::Packet& p, const char*) { dropped = p.uid; });
+  EXPECT_TRUE(q.enqueue(routing_packet(100)));
+  EXPECT_EQ(dropped, 3u);  // newest data packet sacrificed
+  EXPECT_EQ(q.length(), 3u);
+  EXPECT_EQ(q.dequeue()->uid, 100u);
+}
+
+TEST(PriQueueTest, FullQueueOfControlDropsIncomingControl) {
+  PriQueue q{2};
+  q.enqueue(routing_packet(1));
+  q.enqueue(routing_packet(2));
+  EXPECT_FALSE(q.enqueue(routing_packet(3)));
+  EXPECT_EQ(q.drop_count(), 1u);
+}
+
+TEST(PriQueueTest, DataStillDropTail) {
+  PriQueue q{2};
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  EXPECT_FALSE(q.enqueue(data_packet(3)));
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+}
+
+}  // namespace
+}  // namespace eblnet::queue

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "queue/red.hpp"
+#include "stats/summary.hpp"
+#include "test_net.hpp"
+#include "transport/tcp_sender.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace eblnet::queue {
+namespace {
+
+net::Packet data_packet(std::uint64_t uid) {
+  net::Packet p;
+  p.uid = uid;
+  p.type = net::PacketType::kTcpData;
+  p.mac.emplace();
+  p.mac->dst = 1;
+  return p;
+}
+
+net::Packet routing_packet(std::uint64_t uid) {
+  net::Packet p;
+  p.uid = uid;
+  p.type = net::PacketType::kAodvRreq;
+  p.mac.emplace();
+  return p;
+}
+
+class RedQueueTest : public ::testing::Test {
+ protected:
+  sim::Rng rng{17};
+};
+
+TEST_F(RedQueueTest, BehavesAsFifoBelowMinThreshold) {
+  RedQueue q{rng};
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(data_packet(i)));
+  EXPECT_EQ(q.drop_count(), 0u);
+  EXPECT_EQ(q.dequeue()->uid, 0u);
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+}
+
+TEST_F(RedQueueTest, EarlyDropsBeginAboveMinThreshold) {
+  RedParams params;
+  params.min_thresh = 3.0;
+  params.max_thresh = 6.0;
+  params.max_p = 0.5;
+  params.weight = 1.0;  // avg == instantaneous: deterministic thresholds
+  RedQueue q{rng, params};
+  int accepted = 0, offered = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ++offered;
+    if (q.enqueue(data_packet(i))) ++accepted;
+    if (q.length() > 5) q.dequeue();  // keep it hovering above min_thresh
+  }
+  EXPECT_GT(q.early_drops(), 20u);
+  EXPECT_LT(accepted, offered);
+}
+
+TEST_F(RedQueueTest, HardCapStillEnforced) {
+  RedParams params;
+  params.capacity = 10;
+  params.min_thresh = 100.0;  // early drops effectively off
+  params.max_thresh = 200.0;
+  RedQueue q{rng, params};
+  for (std::uint64_t i = 0; i < 20; ++i) q.enqueue(data_packet(i));
+  EXPECT_EQ(q.length(), 10u);
+  EXPECT_EQ(q.forced_drops(), 10u);
+  EXPECT_EQ(q.early_drops(), 0u);
+}
+
+TEST_F(RedQueueTest, RoutingPacketsBypassEarlyDropAndJumpQueue) {
+  RedParams params;
+  params.min_thresh = 1.0;
+  params.max_thresh = 2.0;
+  params.weight = 1.0;
+  params.max_p = 1.0;  // every unprotected arrival above min is dropped
+  RedQueue q{rng, params};
+  q.enqueue(data_packet(1));
+  q.enqueue(data_packet(2));
+  EXPECT_TRUE(q.enqueue(routing_packet(100)));
+  EXPECT_EQ(q.dequeue()->uid, 100u);  // head-inserted
+  EXPECT_EQ(q.early_drops(), 0u);
+}
+
+TEST_F(RedQueueTest, AverageTracksOccupancy) {
+  RedParams params;
+  params.weight = 0.5;
+  RedQueue q{rng, params};
+  for (std::uint64_t i = 0; i < 10; ++i) q.enqueue(data_packet(i));
+  EXPECT_GT(q.average_queue(), 2.0);
+  while (q.dequeue()) {
+  }
+  // Idle arrivals decay the average.
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(data_packet(100 + static_cast<std::uint64_t>(i)));
+    q.dequeue();
+  }
+  EXPECT_LT(q.average_queue(), 1.0);
+}
+
+TEST_F(RedQueueTest, ValidatesParameters) {
+  RedParams bad;
+  bad.capacity = 0;
+  EXPECT_THROW(RedQueue(rng, bad), std::invalid_argument);
+  bad = RedParams{};
+  bad.min_thresh = bad.max_thresh;
+  EXPECT_THROW(RedQueue(rng, bad), std::invalid_argument);
+  bad = RedParams{};
+  bad.max_p = 0.0;
+  EXPECT_THROW(RedQueue(rng, bad), std::invalid_argument);
+  bad = RedParams{};
+  bad.weight = 0.0;
+  EXPECT_THROW(RedQueue(rng, bad), std::invalid_argument);
+}
+
+TEST_F(RedQueueTest, RemoveByNextHopWorks) {
+  RedQueue q{rng};
+  q.enqueue(data_packet(1));
+  net::Packet other = data_packet(2);
+  other.mac->dst = 9;
+  q.enqueue(std::move(other));
+  const auto removed = q.remove_by_next_hop(1);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].uid, 1u);
+  EXPECT_EQ(q.length(), 1u);
+}
+
+// End to end: with a window big enough to overflow a drop-tail queue, RED
+// keeps the standing queue (and so the one-way delay) lower while
+// sustaining comparable throughput.
+TEST_F(RedQueueTest, RedKeepsTcpStandingQueueShorterThanDropTail) {
+  struct Outcome {
+    double avg_delay;
+    std::uint64_t delivered;
+  };
+  auto run = [](bool use_red) {
+    eblnet::testing::TestNet net{51};
+    net::Node& a = net.add_node({0.0, 0.0});
+    if (use_red) {
+      RedParams params;
+      params.min_thresh = 5.0;
+      params.max_thresh = 15.0;
+      params.max_p = 0.1;
+      net.with_80211_queue(a, std::make_unique<RedQueue>(net.env().rng(), params));
+    } else {
+      net.with_80211(a);  // 50-packet drop-tail PriQueue
+    }
+    net.with_static(a);
+    net::Node& b = net.add_node({10.0, 0.0});
+    net.with_80211(b);
+    net.with_static(b);
+
+    transport::TcpParams params;
+    params.max_window = 100;  // deliberately window > buffer
+    transport::TcpSender tx{a, 100, params};
+    transport::TcpSink rx{b, 200};
+    tx.connect(1, 200);
+    eblnet::stats::Summary delay;
+    rx.set_data_callback([&](const net::Packet& p) {
+      delay.add((net.env().now() - p.created).to_seconds());
+    });
+    tx.set_infinite_data();
+    net.run_for(sim::Time::seconds(std::int64_t{5}));
+    return Outcome{delay.mean(), rx.packets_received()};
+  };
+
+  const Outcome droptail = run(false);
+  const Outcome red = run(true);
+  EXPECT_LT(red.avg_delay, droptail.avg_delay * 0.8);
+  EXPECT_GT(red.delivered, droptail.delivered / 2);
+}
+
+}  // namespace
+}  // namespace eblnet::queue

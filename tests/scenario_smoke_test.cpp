@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "core/trial.hpp"
+
+namespace eblnet::core {
+namespace {
+
+// End-to-end smoke: a short 802.11 run of the paper scenario delivers
+// packets to both platoons with finite delays.
+TEST(ScenarioSmokeTest, Short80211RunDeliversPackets) {
+  ScenarioConfig cfg = trial3_config();
+  cfg.duration = sim::Time::seconds(std::int64_t{8});
+  cfg.platoon2_depart = sim::Time::seconds(std::int64_t{6});
+  const TrialResult r = run_trial(cfg, "smoke-802.11");
+
+  EXPECT_GT(r.p1_middle.size(), 10u);
+  EXPECT_GT(r.p1_trailing.size(), 10u);
+  EXPECT_GT(r.p2_middle.size(), 10u);
+  for (const auto& d : r.p1_middle) {
+    EXPECT_GE(d.delay_seconds(), 0.0);
+    EXPECT_LT(d.delay_seconds(), 8.0);
+  }
+  EXPECT_GT(r.p1_throughput_summary().max(), 0.0);
+}
+
+TEST(ScenarioSmokeTest, ShortTdmaRunDeliversPackets) {
+  ScenarioConfig cfg = trial1_config();
+  cfg.duration = sim::Time::seconds(std::int64_t{10});
+  cfg.platoon2_depart = sim::Time::seconds(std::int64_t{8});
+  const TrialResult r = run_trial(cfg, "smoke-tdma");
+
+  EXPECT_GT(r.p1_middle.size(), 5u);
+  EXPECT_GT(r.p1_trailing.size(), 5u);
+  EXPECT_GT(r.p1_throughput_summary().max(), 0.0);
+}
+
+TEST(ScenarioSmokeTest, SameSeedGivesIdenticalResults) {
+  ScenarioConfig cfg = trial3_config();
+  cfg.duration = sim::Time::seconds(std::int64_t{5});
+  const TrialResult a = run_trial(cfg);
+  const TrialResult b = run_trial(cfg);
+  ASSERT_EQ(a.p1_middle.size(), b.p1_middle.size());
+  for (std::size_t i = 0; i < a.p1_middle.size(); ++i) {
+    EXPECT_EQ(a.p1_middle[i].sent, b.p1_middle[i].sent);
+    EXPECT_EQ(a.p1_middle[i].received, b.p1_middle[i].received);
+  }
+}
+
+}  // namespace
+}  // namespace eblnet::core

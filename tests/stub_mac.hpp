@@ -1,0 +1,86 @@
+#pragma once
+
+// A MAC stub for message-level protocol tests: captures everything the
+// routing agent enqueues, lets the test inject crafted received packets,
+// and can report link failures on demand.
+
+#include <vector>
+
+#include "net/layers.hpp"
+
+namespace eblnet::testing {
+
+class StubMac final : public net::MacLayer {
+ public:
+  explicit StubMac(net::NodeId address, bool link_detection = true)
+      : address_{address}, link_detection_{link_detection} {}
+
+  void enqueue(net::Packet p) override {
+    if (!p.mac) p.mac.emplace();
+    p.mac->src = address_;
+    sent.push_back(std::move(p));
+  }
+
+  void set_rx_callback(RxCallback cb) override { rx_ = std::move(cb); }
+  void set_tx_fail_callback(TxFailCallback cb) override { fail_ = std::move(cb); }
+  net::NodeId address() const override { return address_; }
+  bool detects_link_failures() const override { return link_detection_; }
+  std::vector<net::Packet> flush_next_hop(net::NodeId next_hop) override {
+    std::vector<net::Packet> out;
+    std::erase_if(sent, [&](net::Packet& p) {
+      if (p.mac && p.mac->dst == next_hop) {
+        out.push_back(p);
+        return true;
+      }
+      return false;
+    });
+    return out;
+  }
+
+  /// Hand a packet up as if it had been received from `from`.
+  void inject(net::Packet p, net::NodeId from) {
+    p.prev_hop = from;
+    if (!p.mac) p.mac.emplace();
+    p.mac->src = from;
+    rx_(std::move(p));
+  }
+
+  /// Report a unicast delivery failure for the oldest queued packet to
+  /// `next_hop` (simulating retry-limit exhaustion).
+  void fail_next(net::NodeId next_hop) {
+    for (auto it = sent.begin(); it != sent.end(); ++it) {
+      if (it->mac && it->mac->dst == next_hop) {
+        net::Packet p = std::move(*it);
+        sent.erase(it);
+        fail_(p);
+        return;
+      }
+    }
+  }
+
+  /// First queued packet of the given type, or nullptr.
+  const net::Packet* first_of(net::PacketType type) const {
+    for (const auto& p : sent) {
+      if (p.type == type) return &p;
+    }
+    return nullptr;
+  }
+
+  std::size_t count_of(net::PacketType type) const {
+    std::size_t n = 0;
+    for (const auto& p : sent) {
+      if (p.type == type) ++n;
+    }
+    return n;
+  }
+
+  std::vector<net::Packet> sent;
+
+ private:
+  net::NodeId address_;
+  bool link_detection_;
+  RxCallback rx_;
+  TxFailCallback fail_;
+};
+
+}  // namespace eblnet::testing

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "test_net.hpp"
+#include "transport/tcp_sender.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace eblnet::transport {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+/// Drops the Nth first-transmission data packet (see tcp_test.cpp).
+class DropNthQueue final : public queue::PriQueue {
+ public:
+  explicit DropNthQueue(std::uint64_t n) : n_{n} {}
+  bool enqueue(net::Packet p) override {
+    if (p.type == net::PacketType::kTcpData && data_seen_++ == n_) return false;
+    return queue::PriQueue::enqueue(std::move(p));
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t data_seen_{0};
+};
+
+class TcpVariants : public ::testing::Test {
+ protected:
+  eblnet::testing::TestNet net{23};
+
+  void build_pair(std::unique_ptr<net::PacketQueue> sender_queue = nullptr) {
+    net::Node& a = net.add_node({0.0, 0.0});
+    if (sender_queue) {
+      net.with_80211_queue(a, std::move(sender_queue));
+    } else {
+      net.with_80211(a);
+    }
+    net.with_static(a);
+    net::Node& b = net.add_node({10.0, 0.0});
+    net.with_80211(b);
+    net.with_static(b);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tahoe vs Reno
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpVariants, TahoeCollapsesWindowOnLoss) {
+  build_pair(std::make_unique<DropNthQueue>(20));
+  TcpParams params;
+  params.flavor = TcpFlavor::kTahoe;
+  params.max_window = 32;
+  params.initial_ssthresh = 32;
+  TcpSender tx{net.node(0), 100, params};
+  TcpSink rx{net.node(1), 200};
+  tx.connect(1, 200);
+
+  double min_cwnd_after_growth = 1e9;
+  bool saw_growth = false;
+  net.env().scheduler().schedule_in(5_ms, [&] {});
+  tx.set_infinite_data();
+  // Sample cwnd periodically around the loss.
+  for (int i = 0; i < 400; ++i) {
+    net.run_for(2_ms);
+    if (tx.cwnd() > 8.0) saw_growth = true;
+    if (saw_growth) min_cwnd_after_growth = std::min(min_cwnd_after_growth, tx.cwnd());
+  }
+  EXPECT_TRUE(saw_growth);
+  EXPECT_EQ(min_cwnd_after_growth, 1.0);  // Tahoe went back to one packet
+  EXPECT_GE(tx.stats().fast_retransmits, 1u);
+  // Stream still gap-free.
+  EXPECT_EQ(rx.in_order_bytes(), rx.bytes() - 1000 * rx.duplicates());
+}
+
+TEST_F(TcpVariants, RenoKeepsHalfWindowOnLoss) {
+  build_pair(std::make_unique<DropNthQueue>(20));
+  TcpParams params;
+  params.flavor = TcpFlavor::kReno;
+  params.max_window = 32;
+  params.initial_ssthresh = 32;
+  TcpSender tx{net.node(0), 100, params};
+  TcpSink rx{net.node(1), 200};
+  tx.connect(1, 200);
+  tx.set_infinite_data();
+
+  double min_cwnd_after_growth = 1e9;
+  bool saw_growth = false;
+  for (int i = 0; i < 400; ++i) {
+    net.run_for(2_ms);
+    if (tx.cwnd() > 8.0) saw_growth = true;
+    if (saw_growth) min_cwnd_after_growth = std::min(min_cwnd_after_growth, tx.cwnd());
+  }
+  EXPECT_TRUE(saw_growth);
+  EXPECT_GE(tx.stats().fast_retransmits, 1u);
+  EXPECT_EQ(tx.stats().timeouts, 0u);
+  // Reno never collapsed to slow start.
+  EXPECT_GT(min_cwnd_after_growth, 1.5);
+}
+
+TEST_F(TcpVariants, RenoOutperformsTahoeUnderSparseLoss) {
+  // Same single loss; Reno's fast recovery should deliver at least as
+  // much in the same time.
+  std::uint64_t delivered[2] = {0, 0};
+  int idx = 0;
+  for (const TcpFlavor flavor : {TcpFlavor::kTahoe, TcpFlavor::kReno}) {
+    eblnet::testing::TestNet local{23};
+    net::Node& a = local.add_node({0.0, 0.0});
+    local.with_80211_queue(a, std::make_unique<DropNthQueue>(20));
+    local.with_static(a);
+    net::Node& b = local.add_node({10.0, 0.0});
+    local.with_80211(b);
+    local.with_static(b);
+
+    TcpParams params;
+    params.flavor = flavor;
+    params.max_window = 16;
+    TcpSender tx{a, 100, params};
+    TcpSink rx{b, 200};
+    tx.connect(1, 200);
+    tx.set_infinite_data();
+    local.run_for(2_s);
+    delivered[idx++] = rx.in_order_bytes();
+  }
+  EXPECT_GE(delivered[1], delivered[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Delayed ACKs
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpVariants, DelayedAckHalvesAckCount) {
+  build_pair();
+  TcpParams params;
+  params.max_window = 8;
+  TcpSender tx{net.node(0), 100, params};
+  TcpSinkParams sink_params;
+  sink_params.delayed_ack = true;
+  TcpSink rx{net.node(1), 200, sink_params};
+  tx.connect(1, 200);
+  tx.set_infinite_data();
+  net.run_for(2_s);
+
+  EXPECT_GT(rx.packets_received(), 100u);
+  // Roughly one ACK per two segments.
+  const double ratio =
+      static_cast<double>(rx.acks_sent()) / static_cast<double>(rx.packets_received());
+  EXPECT_LT(ratio, 0.65);
+  EXPECT_GT(ratio, 0.4);
+  // No spurious retransmissions from the deferral.
+  EXPECT_EQ(tx.stats().timeouts, 0u);
+}
+
+TEST_F(TcpVariants, DelayedAckTimerFiresForLoneSegment) {
+  build_pair();
+  TcpParams params;
+  TcpSender tx{net.node(0), 100, params};
+  TcpSinkParams sink_params;
+  sink_params.delayed_ack = true;
+  sink_params.ack_delay = 100_ms;
+  TcpSink rx{net.node(1), 200, sink_params};
+  tx.connect(1, 200);
+  tx.advance_bytes(1000);  // exactly one segment
+  net.run_for(50_ms);
+  EXPECT_EQ(rx.acks_sent(), 0u);  // still deferred
+  net.run_for(200_ms);
+  EXPECT_EQ(rx.acks_sent(), 1u);  // the timer flushed it
+  EXPECT_EQ(tx.highest_ack(), 0);
+}
+
+TEST_F(TcpVariants, DelayedAckStillDupacksOnGap) {
+  build_pair(std::make_unique<DropNthQueue>(5));
+  TcpParams params;
+  params.max_window = 16;
+  TcpSender tx{net.node(0), 100, params};
+  TcpSinkParams sink_params;
+  sink_params.delayed_ack = true;
+  TcpSink rx{net.node(1), 200, sink_params};
+  tx.connect(1, 200);
+  tx.set_infinite_data();
+  net.run_for(2_s);
+
+  // The hole was repaired without waiting for an RTO: out-of-order
+  // segments bypassed the delay and produced prompt dupacks.
+  EXPECT_GE(tx.stats().fast_retransmits, 1u);
+  EXPECT_EQ(tx.stats().timeouts, 0u);
+  EXPECT_GT(rx.in_order_bytes(), 100'000u);
+}
+
+TEST_F(TcpVariants, ImmediateAckIsDefault) {
+  build_pair();
+  TcpSender tx{net.node(0), 100};
+  TcpSink rx{net.node(1), 200};
+  tx.connect(1, 200);
+  tx.advance_bytes(5000);
+  net.run_for(1_s);
+  EXPECT_EQ(rx.acks_sent(), rx.packets_received());
+}
+
+}  // namespace
+}  // namespace eblnet::transport

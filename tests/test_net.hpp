@@ -1,0 +1,121 @@
+#pragma once
+
+// Shared test harness: a small wireless network with pluggable MAC and
+// routing per node, a trace collector, and convenience runners. Used by
+// the phy/mac/routing/transport test suites.
+
+#include <memory>
+#include <vector>
+
+#include "mac/mac_80211.hpp"
+#include "mac/mac_tdma.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/env.hpp"
+#include "net/node.hpp"
+#include "phy/wireless_phy.hpp"
+#include "queue/drop_tail.hpp"
+#include "routing/aodv.hpp"
+#include "routing/static_routing.hpp"
+#include "trace/trace_manager.hpp"
+
+namespace eblnet::testing {
+
+class TestNet {
+ public:
+  explicit TestNet(std::uint64_t seed = 1,
+                   std::shared_ptr<phy::PropagationModel> propagation = nullptr)
+      : env_{seed},
+        channel_{env_, propagation ? std::move(propagation)
+                                   : std::make_shared<phy::TwoRayGround>()} {
+    env_.set_trace_sink(&tracer_);
+  }
+
+  net::Env& env() { return env_; }
+  phy::Channel& channel() { return channel_; }
+  trace::TraceManager& tracer() { return tracer_; }
+
+  /// Add a node at a fixed position (no MAC/routing yet).
+  net::Node& add_node(mobility::Vec2 pos, phy::PhyParams phy_params = {}) {
+    const auto id = static_cast<net::NodeId>(nodes_.size());
+    auto node = std::make_unique<net::Node>(env_, id);
+    node->set_mobility(std::make_shared<mobility::StaticMobility>(pos));
+    auto* node_ptr = node.get();
+    phys_.push_back(std::make_unique<phy::WirelessPhy>(
+        env_, id, channel_, [node_ptr] { return node_ptr->position(); }, phy_params));
+    nodes_.push_back(std::move(node));
+    return *nodes_.back();
+  }
+
+  /// Add a node with a caller-supplied mobility model.
+  net::Node& add_mobile_node(std::shared_ptr<mobility::MobilityModel> mob,
+                             phy::PhyParams phy_params = {}) {
+    net::Node& n = add_node({}, phy_params);
+    n.set_mobility(std::move(mob));
+    return n;
+  }
+
+  mac::Mac80211& with_80211(net::Node& node, mac::Mac80211Params params = {},
+                            std::size_t ifq_capacity = 50) {
+    return with_80211_queue(node, std::make_unique<queue::PriQueue>(ifq_capacity), params);
+  }
+
+  /// 802.11 with a caller-supplied interface queue (fault injection).
+  mac::Mac80211& with_80211_queue(net::Node& node, std::unique_ptr<net::PacketQueue> ifq,
+                                  mac::Mac80211Params params = {}) {
+    auto mac = std::make_unique<mac::Mac80211>(env_, node.id(), phy(node.id()), std::move(ifq),
+                                               params);
+    auto* raw = mac.get();
+    node.set_mac(std::move(mac));
+    return *raw;
+  }
+
+  mac::MacTdma& with_tdma(net::Node& node, mac::TdmaParams params, unsigned slot) {
+    auto mac = std::make_unique<mac::MacTdma>(env_, node.id(), phy(node.id()),
+                                              std::make_unique<queue::PriQueue>(), params, slot);
+    auto* raw = mac.get();
+    node.set_mac(std::move(mac));
+    return *raw;
+  }
+
+  routing::Aodv& with_aodv(net::Node& node, routing::AodvParams params = {}) {
+    auto agent = std::make_unique<routing::Aodv>(env_, node.id(), params);
+    auto* raw = agent.get();
+    node.set_routing(std::move(agent));
+    return *raw;
+  }
+
+  routing::StaticRouting& with_static(net::Node& node, bool direct_by_default = true) {
+    auto agent =
+        std::make_unique<routing::StaticRouting>(env_, node.id(), direct_by_default);
+    auto* raw = agent.get();
+    node.set_routing(std::move(agent));
+    return *raw;
+  }
+
+  net::Node& node(std::size_t i) { return *nodes_.at(i); }
+  phy::WirelessPhy& phy(std::size_t i) { return *phys_.at(i); }
+  std::size_t size() const { return nodes_.size(); }
+
+  void run_for(sim::Time d) { env_.scheduler().run_until(env_.now() + d); }
+  void run_until(sim::Time t) { env_.scheduler().run_until(t); }
+
+ private:
+  trace::TraceManager tracer_;
+  net::Env env_;
+  phy::Channel channel_;
+  std::vector<std::unique_ptr<phy::WirelessPhy>> phys_;
+  std::vector<std::unique_ptr<net::Node>> nodes_;
+};
+
+/// A chain topology: n nodes in a line, `spacing` metres apart, 802.11 +
+/// AODV on every node. Spacing above the 250 m radio range forces
+/// multi-hop routes.
+inline void build_80211_chain(TestNet& net, std::size_t n, double spacing) {
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Node& node = net.add_node({spacing * static_cast<double>(i), 0.0});
+    net.with_80211(node);
+    net.with_aodv(node);
+  }
+}
+
+}  // namespace eblnet::testing

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "app/traffic.hpp"
+#include "test_net.hpp"
+#include "transport/tcp_sink.hpp"
+
+namespace eblnet::app {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+TEST(CbrMathTest, IntervalForRate) {
+  // 1000 B at 1 Mb/s -> 8 ms per packet.
+  EXPECT_EQ(CbrSource::interval_for_rate(1000, 1e6), 8_ms);
+  // 500 B at 2 Mb/s -> 2 ms.
+  EXPECT_EQ(CbrSource::interval_for_rate(500, 2e6), 2_ms);
+}
+
+class TrafficFixture : public ::testing::Test {
+ protected:
+  eblnet::testing::TestNet net;
+
+  void build_pair() {
+    net::Node& a = net.add_node({0.0, 0.0});
+    net.with_80211(a);
+    net.with_static(a);
+    net::Node& b = net.add_node({10.0, 0.0});
+    net.with_80211(b);
+    net.with_static(b);
+  }
+};
+
+TEST_F(TrafficFixture, CbrSendsAtConfiguredRate) {
+  build_pair();
+  transport::UdpAgent tx{net.node(0), 100};
+  transport::UdpAgent rx{net.node(1), 200};
+  tx.connect(1, 200);
+  CbrSource cbr{net.env(), tx, 500, 10_ms};
+  cbr.start();
+  net.run_for(1_s);
+  cbr.stop();
+  net.run_for(100_ms);  // let the final datagram land
+  // One immediately at start, then one every 10 ms.
+  EXPECT_NEAR(static_cast<double>(tx.packets_sent()), 101.0, 2.0);
+  EXPECT_EQ(rx.packets_received(), tx.packets_sent());
+}
+
+TEST_F(TrafficFixture, CbrStopHaltsImmediately) {
+  build_pair();
+  transport::UdpAgent tx{net.node(0), 100};
+  transport::UdpAgent rx{net.node(1), 200};
+  tx.connect(1, 200);
+  CbrSource cbr{net.env(), tx, 500, 10_ms};
+  cbr.start();
+  net.run_for(100_ms);
+  cbr.stop();
+  const auto sent = tx.packets_sent();
+  net.run_for(1_s);
+  EXPECT_EQ(tx.packets_sent(), sent);
+  EXPECT_FALSE(cbr.running());
+}
+
+TEST_F(TrafficFixture, CbrRestartResumesCleanly) {
+  build_pair();
+  transport::UdpAgent tx{net.node(0), 100};
+  transport::UdpAgent rx{net.node(1), 200};
+  tx.connect(1, 200);
+  CbrSource cbr{net.env(), tx, 500, 10_ms};
+  cbr.start();
+  cbr.start();  // idempotent
+  net.run_for(100_ms);
+  cbr.stop();
+  cbr.stop();  // idempotent
+  net.run_for(100_ms);
+  cbr.start();
+  net.run_for(100_ms);
+  EXPECT_NEAR(static_cast<double>(tx.packets_sent()), 22.0, 3.0);
+}
+
+TEST_F(TrafficFixture, TcpFeederOffersAtRateAndTcpDelivers) {
+  build_pair();
+  transport::TcpParams params;
+  params.packet_size = 500;
+  transport::TcpSender tcp{net.node(0), 100, params};
+  transport::TcpSink sink{net.node(1), 200};
+  tcp.connect(1, 200);
+  TcpCbrFeeder feeder{net.env(), tcp, 500, 10_ms};
+  feeder.start();
+  net.run_for(1_s);
+  feeder.stop();
+  EXPECT_NEAR(static_cast<double>(feeder.packets_offered()), 101.0, 2.0);
+  // The link is fast; TCP keeps up with the offered load.
+  EXPECT_NEAR(static_cast<double>(sink.packets_received()), 100.0, 5.0);
+}
+
+TEST_F(TrafficFixture, FeederStopPlusTruncateEndsStream) {
+  build_pair();
+  transport::TcpParams params;
+  params.packet_size = 500;
+  params.max_window = 1;  // slow drain -> backlog builds
+  transport::TcpSender tcp{net.node(0), 100, params};
+  transport::TcpSink sink{net.node(1), 200};
+  tcp.connect(1, 200);
+  TcpCbrFeeder feeder{net.env(), tcp, 500, 1_ms};
+  feeder.start();
+  net.run_for(200_ms);
+  feeder.stop();
+  tcp.truncate_backlog();
+  net.run_for(2_s);
+  const auto received = sink.packets_received();
+  net.run_for(2_s);
+  EXPECT_EQ(sink.packets_received(), received);  // stream truly over
+  EXPECT_LT(received, 190u);                     // backlog was discarded
+}
+
+TEST_F(TrafficFixture, FtpSaturates) {
+  build_pair();
+  transport::TcpSender tcp{net.node(0), 100};
+  transport::TcpSink sink{net.node(1), 200};
+  tcp.connect(1, 200);
+  FtpSource ftp{tcp};
+  ftp.start();
+  net.run_for(1_s);
+  EXPECT_GT(sink.packets_received(), 200u);  // limited only by the link
+}
+
+TEST_F(TrafficFixture, ValidatesIntervals) {
+  build_pair();
+  transport::UdpAgent tx{net.node(0), 100};
+  EXPECT_THROW(CbrSource(net.env(), tx, 500, Time::zero()), std::invalid_argument);
+  transport::TcpSender tcp{net.node(0), 101};
+  EXPECT_THROW(TcpCbrFeeder(net.env(), tcp, 500, Time::zero()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eblnet::app

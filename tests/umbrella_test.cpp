@@ -1,0 +1,22 @@
+// Compile-level check: the umbrella header is self-contained and exposes
+// the whole public API.
+
+#include "eblnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eblnet {
+namespace {
+
+TEST(UmbrellaHeaderTest, TypesAreReachable) {
+  sim::Time t = sim::Time::seconds(1.0);
+  stats::Summary s;
+  s.add(t.to_seconds());
+  core::StoppingAssessment a{22.352, 5.0, 0.24};
+  EXPECT_GT(a.fraction_of_headway(), 1.0);
+  EXPECT_EQ(core::trial1_config().packet_bytes, 1000u);
+  EXPECT_EQ(net::kBroadcastAddress, 0xffffffffu);
+}
+
+}  // namespace
+}  // namespace eblnet
