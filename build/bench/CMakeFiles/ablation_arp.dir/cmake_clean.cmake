@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arp.dir/ablation_arp.cpp.o"
+  "CMakeFiles/ablation_arp.dir/ablation_arp.cpp.o.d"
+  "ablation_arp"
+  "ablation_arp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

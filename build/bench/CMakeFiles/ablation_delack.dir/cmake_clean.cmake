@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delack.dir/ablation_delack.cpp.o"
+  "CMakeFiles/ablation_delack.dir/ablation_delack.cpp.o.d"
+  "ablation_delack"
+  "ablation_delack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

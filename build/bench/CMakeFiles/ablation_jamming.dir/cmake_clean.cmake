@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jamming.dir/ablation_jamming.cpp.o"
+  "CMakeFiles/ablation_jamming.dir/ablation_jamming.cpp.o.d"
+  "ablation_jamming"
+  "ablation_jamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

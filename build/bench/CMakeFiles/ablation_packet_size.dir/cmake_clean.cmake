@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packet_size.dir/ablation_packet_size.cpp.o"
+  "CMakeFiles/ablation_packet_size.dir/ablation_packet_size.cpp.o.d"
+  "ablation_packet_size"
+  "ablation_packet_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packet_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_platoon_size.dir/ablation_platoon_size.cpp.o"
+  "CMakeFiles/ablation_platoon_size.dir/ablation_platoon_size.cpp.o.d"
+  "ablation_platoon_size"
+  "ablation_platoon_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_platoon_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

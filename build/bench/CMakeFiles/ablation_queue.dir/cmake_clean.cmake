@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue.dir/ablation_queue.cpp.o"
+  "CMakeFiles/ablation_queue.dir/ablation_queue.cpp.o.d"
+  "ablation_queue"
+  "ablation_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

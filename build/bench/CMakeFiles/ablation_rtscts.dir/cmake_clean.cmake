@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rtscts.dir/ablation_rtscts.cpp.o"
+  "CMakeFiles/ablation_rtscts.dir/ablation_rtscts.cpp.o.d"
+  "ablation_rtscts"
+  "ablation_rtscts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rtscts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

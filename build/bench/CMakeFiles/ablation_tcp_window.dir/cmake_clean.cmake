@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcp_window.dir/ablation_tcp_window.cpp.o"
+  "CMakeFiles/ablation_tcp_window.dir/ablation_tcp_window.cpp.o.d"
+  "ablation_tcp_window"
+  "ablation_tcp_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

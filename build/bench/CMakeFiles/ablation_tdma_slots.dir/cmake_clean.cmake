@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tdma_slots.dir/ablation_tdma_slots.cpp.o"
+  "CMakeFiles/ablation_tdma_slots.dir/ablation_tdma_slots.cpp.o.d"
+  "ablation_tdma_slots"
+  "ablation_tdma_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tdma_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_02_scenario_motion.dir/fig01_02_scenario_motion.cpp.o"
+  "CMakeFiles/fig01_02_scenario_motion.dir/fig01_02_scenario_motion.cpp.o.d"
+  "fig01_02_scenario_motion"
+  "fig01_02_scenario_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_02_scenario_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

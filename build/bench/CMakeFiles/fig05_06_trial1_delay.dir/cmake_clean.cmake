@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_trial1_delay.dir/fig05_06_trial1_delay.cpp.o"
+  "CMakeFiles/fig05_06_trial1_delay.dir/fig05_06_trial1_delay.cpp.o.d"
+  "fig05_06_trial1_delay"
+  "fig05_06_trial1_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_trial1_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

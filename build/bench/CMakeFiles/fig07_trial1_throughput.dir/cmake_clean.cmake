@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_trial1_throughput.dir/fig07_trial1_throughput.cpp.o"
+  "CMakeFiles/fig07_trial1_throughput.dir/fig07_trial1_throughput.cpp.o.d"
+  "fig07_trial1_throughput"
+  "fig07_trial1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_trial1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

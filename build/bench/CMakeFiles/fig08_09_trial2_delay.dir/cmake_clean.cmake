@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_trial2_delay.dir/fig08_09_trial2_delay.cpp.o"
+  "CMakeFiles/fig08_09_trial2_delay.dir/fig08_09_trial2_delay.cpp.o.d"
+  "fig08_09_trial2_delay"
+  "fig08_09_trial2_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_trial2_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

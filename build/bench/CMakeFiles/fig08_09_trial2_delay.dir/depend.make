@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_09_trial2_delay.
+# This may be replaced when dependencies are built.

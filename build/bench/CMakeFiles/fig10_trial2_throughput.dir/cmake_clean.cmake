@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_trial2_throughput.dir/fig10_trial2_throughput.cpp.o"
+  "CMakeFiles/fig10_trial2_throughput.dir/fig10_trial2_throughput.cpp.o.d"
+  "fig10_trial2_throughput"
+  "fig10_trial2_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_trial2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_14_trial3_delay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_trial3_throughput.dir/fig15_trial3_throughput.cpp.o"
+  "CMakeFiles/fig15_trial3_throughput.dir/fig15_trial3_throughput.cpp.o.d"
+  "fig15_trial3_throughput"
+  "fig15_trial3_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_trial3_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_trial3_throughput.
+# This may be replaced when dependencies are built.

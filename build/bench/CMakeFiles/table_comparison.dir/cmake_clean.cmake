@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_comparison.dir/table_comparison.cpp.o"
+  "CMakeFiles/table_comparison.dir/table_comparison.cpp.o.d"
+  "table_comparison"
+  "table_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

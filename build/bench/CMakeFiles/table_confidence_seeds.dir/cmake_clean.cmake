@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_confidence_seeds.dir/table_confidence_seeds.cpp.o"
+  "CMakeFiles/table_confidence_seeds.dir/table_confidence_seeds.cpp.o.d"
+  "table_confidence_seeds"
+  "table_confidence_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_confidence_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

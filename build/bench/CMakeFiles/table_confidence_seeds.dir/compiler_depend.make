@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table_confidence_seeds.
+# This may be replaced when dependencies are built.

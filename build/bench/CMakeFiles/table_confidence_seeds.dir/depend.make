@@ -1,0 +1,2 @@
+# Empty dependencies file for table_confidence_seeds.
+# This may be replaced when dependencies are built.

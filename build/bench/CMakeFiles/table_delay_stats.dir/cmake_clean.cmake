@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_delay_stats.dir/table_delay_stats.cpp.o"
+  "CMakeFiles/table_delay_stats.dir/table_delay_stats.cpp.o.d"
+  "table_delay_stats"
+  "table_delay_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_delay_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

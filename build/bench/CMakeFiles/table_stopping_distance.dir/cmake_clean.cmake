@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_stopping_distance.dir/table_stopping_distance.cpp.o"
+  "CMakeFiles/table_stopping_distance.dir/table_stopping_distance.cpp.o.d"
+  "table_stopping_distance"
+  "table_stopping_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_stopping_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

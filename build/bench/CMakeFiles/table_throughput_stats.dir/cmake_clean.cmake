@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_throughput_stats.dir/table_throughput_stats.cpp.o"
+  "CMakeFiles/table_throughput_stats.dir/table_throughput_stats.cpp.o.d"
+  "table_throughput_stats"
+  "table_throughput_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_throughput_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_ebl.dir/closed_loop_ebl.cpp.o"
+  "CMakeFiles/closed_loop_ebl.dir/closed_loop_ebl.cpp.o.d"
+  "closed_loop_ebl"
+  "closed_loop_ebl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_ebl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for closed_loop_ebl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_speed_warning.dir/curve_speed_warning.cpp.o"
+  "CMakeFiles/curve_speed_warning.dir/curve_speed_warning.cpp.o.d"
+  "curve_speed_warning"
+  "curve_speed_warning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_speed_warning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

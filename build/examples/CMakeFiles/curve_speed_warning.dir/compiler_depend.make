@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for curve_speed_warning.
+# This may be replaced when dependencies are built.

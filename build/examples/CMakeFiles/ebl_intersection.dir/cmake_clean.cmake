@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebl_intersection.dir/ebl_intersection.cpp.o"
+  "CMakeFiles/ebl_intersection.dir/ebl_intersection.cpp.o.d"
+  "ebl_intersection"
+  "ebl_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebl_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

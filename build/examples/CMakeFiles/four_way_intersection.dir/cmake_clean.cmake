@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_way_intersection.dir/four_way_intersection.cpp.o"
+  "CMakeFiles/four_way_intersection.dir/four_way_intersection.cpp.o.d"
+  "four_way_intersection"
+  "four_way_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_way_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

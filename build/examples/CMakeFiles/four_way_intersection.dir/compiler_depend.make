@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for four_way_intersection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_braking.dir/highway_braking.cpp.o"
+  "CMakeFiles/highway_braking.dir/highway_braking.cpp.o.d"
+  "highway_braking"
+  "highway_braking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_braking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for highway_braking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_comparison.dir/mac_comparison.cpp.o"
+  "CMakeFiles/mac_comparison.dir/mac_comparison.cpp.o.d"
+  "mac_comparison"
+  "mac_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_warning.dir/multihop_warning.cpp.o"
+  "CMakeFiles/multihop_warning.dir/multihop_warning.cpp.o.d"
+  "multihop_warning"
+  "multihop_warning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_warning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multihop_warning.
+# This may be replaced when dependencies are built.

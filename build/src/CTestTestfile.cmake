@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("net")
+subdirs("mobility")
+subdirs("phy")
+subdirs("queue")
+subdirs("mac")
+subdirs("routing")
+subdirs("transport")
+subdirs("app")
+subdirs("trace")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/jammer.cpp" "src/app/CMakeFiles/eblnet_app.dir/jammer.cpp.o" "gcc" "src/app/CMakeFiles/eblnet_app.dir/jammer.cpp.o.d"
+  "/root/repo/src/app/traffic.cpp" "src/app/CMakeFiles/eblnet_app.dir/traffic.cpp.o" "gcc" "src/app/CMakeFiles/eblnet_app.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/eblnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/eblnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_app.dir/jammer.cpp.o"
+  "CMakeFiles/eblnet_app.dir/jammer.cpp.o.d"
+  "CMakeFiles/eblnet_app.dir/traffic.cpp.o"
+  "CMakeFiles/eblnet_app.dir/traffic.cpp.o.d"
+  "libeblnet_app.a"
+  "libeblnet_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_core.dir/ebl_app.cpp.o"
+  "CMakeFiles/eblnet_core.dir/ebl_app.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/flood.cpp.o"
+  "CMakeFiles/eblnet_core.dir/flood.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/reactor.cpp.o"
+  "CMakeFiles/eblnet_core.dir/reactor.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/report.cpp.o"
+  "CMakeFiles/eblnet_core.dir/report.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/rsu.cpp.o"
+  "CMakeFiles/eblnet_core.dir/rsu.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/scenario.cpp.o"
+  "CMakeFiles/eblnet_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/eblnet_core.dir/trial.cpp.o"
+  "CMakeFiles/eblnet_core.dir/trial.cpp.o.d"
+  "libeblnet_core.a"
+  "libeblnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/arp.cpp" "src/mac/CMakeFiles/eblnet_mac.dir/arp.cpp.o" "gcc" "src/mac/CMakeFiles/eblnet_mac.dir/arp.cpp.o.d"
+  "/root/repo/src/mac/mac_80211.cpp" "src/mac/CMakeFiles/eblnet_mac.dir/mac_80211.cpp.o" "gcc" "src/mac/CMakeFiles/eblnet_mac.dir/mac_80211.cpp.o.d"
+  "/root/repo/src/mac/mac_base.cpp" "src/mac/CMakeFiles/eblnet_mac.dir/mac_base.cpp.o" "gcc" "src/mac/CMakeFiles/eblnet_mac.dir/mac_base.cpp.o.d"
+  "/root/repo/src/mac/mac_tdma.cpp" "src/mac/CMakeFiles/eblnet_mac.dir/mac_tdma.cpp.o" "gcc" "src/mac/CMakeFiles/eblnet_mac.dir/mac_tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/eblnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/eblnet_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

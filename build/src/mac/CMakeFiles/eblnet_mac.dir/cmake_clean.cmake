@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_mac.dir/arp.cpp.o"
+  "CMakeFiles/eblnet_mac.dir/arp.cpp.o.d"
+  "CMakeFiles/eblnet_mac.dir/mac_80211.cpp.o"
+  "CMakeFiles/eblnet_mac.dir/mac_80211.cpp.o.d"
+  "CMakeFiles/eblnet_mac.dir/mac_base.cpp.o"
+  "CMakeFiles/eblnet_mac.dir/mac_base.cpp.o.d"
+  "CMakeFiles/eblnet_mac.dir/mac_tdma.cpp.o"
+  "CMakeFiles/eblnet_mac.dir/mac_tdma.cpp.o.d"
+  "libeblnet_mac.a"
+  "libeblnet_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

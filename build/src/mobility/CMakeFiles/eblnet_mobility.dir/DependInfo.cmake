@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/platoon.cpp" "src/mobility/CMakeFiles/eblnet_mobility.dir/platoon.cpp.o" "gcc" "src/mobility/CMakeFiles/eblnet_mobility.dir/platoon.cpp.o.d"
+  "/root/repo/src/mobility/vehicle.cpp" "src/mobility/CMakeFiles/eblnet_mobility.dir/vehicle.cpp.o" "gcc" "src/mobility/CMakeFiles/eblnet_mobility.dir/vehicle.cpp.o.d"
+  "/root/repo/src/mobility/waypoint.cpp" "src/mobility/CMakeFiles/eblnet_mobility.dir/waypoint.cpp.o" "gcc" "src/mobility/CMakeFiles/eblnet_mobility.dir/waypoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_mobility.dir/platoon.cpp.o"
+  "CMakeFiles/eblnet_mobility.dir/platoon.cpp.o.d"
+  "CMakeFiles/eblnet_mobility.dir/vehicle.cpp.o"
+  "CMakeFiles/eblnet_mobility.dir/vehicle.cpp.o.d"
+  "CMakeFiles/eblnet_mobility.dir/waypoint.cpp.o"
+  "CMakeFiles/eblnet_mobility.dir/waypoint.cpp.o.d"
+  "libeblnet_mobility.a"
+  "libeblnet_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

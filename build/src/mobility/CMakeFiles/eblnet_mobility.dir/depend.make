@@ -1,0 +1,2 @@
+# Empty dependencies file for eblnet_mobility.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/eblnet_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/eblnet_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/eblnet_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/eblnet_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/trace_sink.cpp" "src/net/CMakeFiles/eblnet_net.dir/trace_sink.cpp.o" "gcc" "src/net/CMakeFiles/eblnet_net.dir/trace_sink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

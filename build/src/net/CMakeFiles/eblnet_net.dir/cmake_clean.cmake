@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_net.dir/node.cpp.o"
+  "CMakeFiles/eblnet_net.dir/node.cpp.o.d"
+  "CMakeFiles/eblnet_net.dir/packet.cpp.o"
+  "CMakeFiles/eblnet_net.dir/packet.cpp.o.d"
+  "CMakeFiles/eblnet_net.dir/trace_sink.cpp.o"
+  "CMakeFiles/eblnet_net.dir/trace_sink.cpp.o.d"
+  "libeblnet_net.a"
+  "libeblnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/fhss.cpp" "src/phy/CMakeFiles/eblnet_phy.dir/fhss.cpp.o" "gcc" "src/phy/CMakeFiles/eblnet_phy.dir/fhss.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/eblnet_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/eblnet_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/phy/wireless_phy.cpp" "src/phy/CMakeFiles/eblnet_phy.dir/wireless_phy.cpp.o" "gcc" "src/phy/CMakeFiles/eblnet_phy.dir/wireless_phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

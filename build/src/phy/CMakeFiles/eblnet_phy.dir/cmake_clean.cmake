@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_phy.dir/fhss.cpp.o"
+  "CMakeFiles/eblnet_phy.dir/fhss.cpp.o.d"
+  "CMakeFiles/eblnet_phy.dir/propagation.cpp.o"
+  "CMakeFiles/eblnet_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/eblnet_phy.dir/wireless_phy.cpp.o"
+  "CMakeFiles/eblnet_phy.dir/wireless_phy.cpp.o.d"
+  "libeblnet_phy.a"
+  "libeblnet_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/drop_tail.cpp" "src/queue/CMakeFiles/eblnet_queue.dir/drop_tail.cpp.o" "gcc" "src/queue/CMakeFiles/eblnet_queue.dir/drop_tail.cpp.o.d"
+  "/root/repo/src/queue/red.cpp" "src/queue/CMakeFiles/eblnet_queue.dir/red.cpp.o" "gcc" "src/queue/CMakeFiles/eblnet_queue.dir/red.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_queue.dir/drop_tail.cpp.o"
+  "CMakeFiles/eblnet_queue.dir/drop_tail.cpp.o.d"
+  "CMakeFiles/eblnet_queue.dir/red.cpp.o"
+  "CMakeFiles/eblnet_queue.dir/red.cpp.o.d"
+  "libeblnet_queue.a"
+  "libeblnet_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eblnet_queue.
+# This may be replaced when dependencies are built.

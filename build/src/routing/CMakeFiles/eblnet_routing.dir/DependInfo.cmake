@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/aodv.cpp" "src/routing/CMakeFiles/eblnet_routing.dir/aodv.cpp.o" "gcc" "src/routing/CMakeFiles/eblnet_routing.dir/aodv.cpp.o.d"
+  "/root/repo/src/routing/dsdv.cpp" "src/routing/CMakeFiles/eblnet_routing.dir/dsdv.cpp.o" "gcc" "src/routing/CMakeFiles/eblnet_routing.dir/dsdv.cpp.o.d"
+  "/root/repo/src/routing/routing_table.cpp" "src/routing/CMakeFiles/eblnet_routing.dir/routing_table.cpp.o" "gcc" "src/routing/CMakeFiles/eblnet_routing.dir/routing_table.cpp.o.d"
+  "/root/repo/src/routing/static_routing.cpp" "src/routing/CMakeFiles/eblnet_routing.dir/static_routing.cpp.o" "gcc" "src/routing/CMakeFiles/eblnet_routing.dir/static_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

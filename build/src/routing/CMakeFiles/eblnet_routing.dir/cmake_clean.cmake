@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_routing.dir/aodv.cpp.o"
+  "CMakeFiles/eblnet_routing.dir/aodv.cpp.o.d"
+  "CMakeFiles/eblnet_routing.dir/dsdv.cpp.o"
+  "CMakeFiles/eblnet_routing.dir/dsdv.cpp.o.d"
+  "CMakeFiles/eblnet_routing.dir/routing_table.cpp.o"
+  "CMakeFiles/eblnet_routing.dir/routing_table.cpp.o.d"
+  "CMakeFiles/eblnet_routing.dir/static_routing.cpp.o"
+  "CMakeFiles/eblnet_routing.dir/static_routing.cpp.o.d"
+  "libeblnet_routing.a"
+  "libeblnet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

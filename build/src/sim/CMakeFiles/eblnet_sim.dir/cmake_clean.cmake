@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_sim.dir/rng.cpp.o"
+  "CMakeFiles/eblnet_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/eblnet_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/eblnet_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/eblnet_sim.dir/time.cpp.o"
+  "CMakeFiles/eblnet_sim.dir/time.cpp.o.d"
+  "libeblnet_sim.a"
+  "libeblnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

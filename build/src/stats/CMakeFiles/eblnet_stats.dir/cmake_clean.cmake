@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_stats.dir/confidence.cpp.o"
+  "CMakeFiles/eblnet_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/eblnet_stats.dir/histogram.cpp.o"
+  "CMakeFiles/eblnet_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/eblnet_stats.dir/summary.cpp.o"
+  "CMakeFiles/eblnet_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/eblnet_stats.dir/time_series.cpp.o"
+  "CMakeFiles/eblnet_stats.dir/time_series.cpp.o.d"
+  "libeblnet_stats.a"
+  "libeblnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

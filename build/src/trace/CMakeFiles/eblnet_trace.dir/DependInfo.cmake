@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/delay_analyzer.cpp" "src/trace/CMakeFiles/eblnet_trace.dir/delay_analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/eblnet_trace.dir/delay_analyzer.cpp.o.d"
+  "/root/repo/src/trace/nam_export.cpp" "src/trace/CMakeFiles/eblnet_trace.dir/nam_export.cpp.o" "gcc" "src/trace/CMakeFiles/eblnet_trace.dir/nam_export.cpp.o.d"
+  "/root/repo/src/trace/throughput_monitor.cpp" "src/trace/CMakeFiles/eblnet_trace.dir/throughput_monitor.cpp.o" "gcc" "src/trace/CMakeFiles/eblnet_trace.dir/throughput_monitor.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/eblnet_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/eblnet_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_manager.cpp" "src/trace/CMakeFiles/eblnet_trace.dir/trace_manager.cpp.o" "gcc" "src/trace/CMakeFiles/eblnet_trace.dir/trace_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eblnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_trace.dir/delay_analyzer.cpp.o"
+  "CMakeFiles/eblnet_trace.dir/delay_analyzer.cpp.o.d"
+  "CMakeFiles/eblnet_trace.dir/nam_export.cpp.o"
+  "CMakeFiles/eblnet_trace.dir/nam_export.cpp.o.d"
+  "CMakeFiles/eblnet_trace.dir/throughput_monitor.cpp.o"
+  "CMakeFiles/eblnet_trace.dir/throughput_monitor.cpp.o.d"
+  "CMakeFiles/eblnet_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/eblnet_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/eblnet_trace.dir/trace_manager.cpp.o"
+  "CMakeFiles/eblnet_trace.dir/trace_manager.cpp.o.d"
+  "libeblnet_trace.a"
+  "libeblnet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eblnet_transport.dir/tcp_sender.cpp.o"
+  "CMakeFiles/eblnet_transport.dir/tcp_sender.cpp.o.d"
+  "CMakeFiles/eblnet_transport.dir/tcp_sink.cpp.o"
+  "CMakeFiles/eblnet_transport.dir/tcp_sink.cpp.o.d"
+  "CMakeFiles/eblnet_transport.dir/udp.cpp.o"
+  "CMakeFiles/eblnet_transport.dir/udp.cpp.o.d"
+  "libeblnet_transport.a"
+  "libeblnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eblnet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodv_protocol_test.dir/aodv_protocol_test.cpp.o"
+  "CMakeFiles/aodv_protocol_test.dir/aodv_protocol_test.cpp.o.d"
+  "aodv_protocol_test"
+  "aodv_protocol_test.pdb"
+  "aodv_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodv_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

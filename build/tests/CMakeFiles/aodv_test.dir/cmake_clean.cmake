@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aodv_test.dir/aodv_test.cpp.o"
+  "CMakeFiles/aodv_test.dir/aodv_test.cpp.o.d"
+  "aodv_test"
+  "aodv_test.pdb"
+  "aodv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aodv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

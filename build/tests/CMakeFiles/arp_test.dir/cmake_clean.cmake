@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arp_test.dir/arp_test.cpp.o"
+  "CMakeFiles/arp_test.dir/arp_test.cpp.o.d"
+  "arp_test"
+  "arp_test.pdb"
+  "arp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsdv_protocol_test.dir/dsdv_protocol_test.cpp.o"
+  "CMakeFiles/dsdv_protocol_test.dir/dsdv_protocol_test.cpp.o.d"
+  "dsdv_protocol_test"
+  "dsdv_protocol_test.pdb"
+  "dsdv_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsdv_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsdv_test.dir/dsdv_test.cpp.o"
+  "CMakeFiles/dsdv_test.dir/dsdv_test.cpp.o.d"
+  "dsdv_test"
+  "dsdv_test.pdb"
+  "dsdv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsdv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flood_test.dir/flood_test.cpp.o"
+  "CMakeFiles/flood_test.dir/flood_test.cpp.o.d"
+  "flood_test"
+  "flood_test.pdb"
+  "flood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac80211_test.dir/mac80211_test.cpp.o"
+  "CMakeFiles/mac80211_test.dir/mac80211_test.cpp.o.d"
+  "mac80211_test"
+  "mac80211_test.pdb"
+  "mac80211_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac80211_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

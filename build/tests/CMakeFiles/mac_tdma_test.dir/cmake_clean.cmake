@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tdma_test.dir/mac_tdma_test.cpp.o"
+  "CMakeFiles/mac_tdma_test.dir/mac_tdma_test.cpp.o.d"
+  "mac_tdma_test"
+  "mac_tdma_test.pdb"
+  "mac_tdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_timing_test.dir/mac_timing_test.cpp.o"
+  "CMakeFiles/mac_timing_test.dir/mac_timing_test.cpp.o.d"
+  "mac_timing_test"
+  "mac_timing_test.pdb"
+  "mac_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

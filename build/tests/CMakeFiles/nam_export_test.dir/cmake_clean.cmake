@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nam_export_test.dir/nam_export_test.cpp.o"
+  "CMakeFiles/nam_export_test.dir/nam_export_test.cpp.o.d"
+  "nam_export_test"
+  "nam_export_test.pdb"
+  "nam_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nam_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_test.dir/queue_test.cpp.o"
+  "CMakeFiles/queue_test.dir/queue_test.cpp.o.d"
+  "queue_test"
+  "queue_test.pdb"
+  "queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

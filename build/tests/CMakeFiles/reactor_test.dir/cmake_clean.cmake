@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactor_test.dir/reactor_test.cpp.o"
+  "CMakeFiles/reactor_test.dir/reactor_test.cpp.o.d"
+  "reactor_test"
+  "reactor_test.pdb"
+  "reactor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

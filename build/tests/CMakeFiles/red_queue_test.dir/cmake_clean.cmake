@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_queue_test.dir/red_queue_test.cpp.o"
+  "CMakeFiles/red_queue_test.dir/red_queue_test.cpp.o.d"
+  "red_queue_test"
+  "red_queue_test.pdb"
+  "red_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

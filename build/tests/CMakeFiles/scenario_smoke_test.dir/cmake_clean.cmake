@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_smoke_test.dir/scenario_smoke_test.cpp.o"
+  "CMakeFiles/scenario_smoke_test.dir/scenario_smoke_test.cpp.o.d"
+  "scenario_smoke_test"
+  "scenario_smoke_test.pdb"
+  "scenario_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/security_test.cpp" "tests/CMakeFiles/security_test.dir/security_test.cpp.o" "gcc" "tests/CMakeFiles/security_test.dir/security_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eblnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/eblnet_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/eblnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/eblnet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/eblnet_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/eblnet_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/eblnet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eblnet_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eblnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/eblnet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eblnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eblnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_variants_test.dir/tcp_variants_test.cpp.o"
+  "CMakeFiles/tcp_variants_test.dir/tcp_variants_test.cpp.o.d"
+  "tcp_variants_test"
+  "tcp_variants_test.pdb"
+  "tcp_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

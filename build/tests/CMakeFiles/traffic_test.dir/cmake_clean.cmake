@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_test.dir/traffic_test.cpp.o"
+  "CMakeFiles/traffic_test.dir/traffic_test.cpp.o.d"
+  "traffic_test"
+  "traffic_test.pdb"
+  "traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[UmbrellaHeaderTest.TypesAreReachable]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=UmbrellaHeaderTest.TypesAreReachable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaHeaderTest.TypesAreReachable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS UmbrellaHeaderTest.TypesAreReachable)
