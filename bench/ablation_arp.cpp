@@ -5,23 +5,21 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
-  core::report::print_header(std::cout, "Ablation — ARP link layer (NS-2 LL stage)");
-  std::cout << std::left << std::setw(9) << "MAC" << std::setw(8) << "ARP" << std::right
-            << std::setw(16) << "init delay(s)" << std::setw(14) << "avg delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
-
   struct Variant {
     const char* label;
     bool use_arp;
     bool passive;
   };
+  std::vector<core::TrialSpec> specs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const Variant v : {Variant{"off", false, true}, Variant{"passive", true, true},
                             Variant{"ns2", true, false}}) {
@@ -29,12 +27,21 @@ int main() {
       cfg.use_arp = v.use_arp;
       cfg.arp.passive_learning = v.passive;
       cfg.duration = sim::Time::seconds(std::int64_t{32});
-      const core::TrialResult r = core::run_trial(cfg);
-      std::cout << std::left << std::setw(9) << core::to_string(mac) << std::setw(8) << v.label
-                << std::right << std::fixed << std::setprecision(4) << std::setw(16)
-                << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_delay_summary().mean()
-                << std::setw(14) << r.p1_throughput_ci.mean << '\n';
+      specs.push_back({cfg, v.label});
     }
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+
+  core::report::print_header(std::cout, "Ablation — ARP link layer (NS-2 LL stage)");
+  std::cout << std::left << std::setw(9) << "MAC" << std::setw(8) << "ARP" << std::right
+            << std::setw(16) << "init delay(s)" << std::setw(14) << "avg delay(s)"
+            << std::setw(14) << "tput (Mbps)" << '\n';
+
+  for (const core::TrialResult& r : runs) {
+    std::cout << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(8)
+              << r.name << std::right << std::fixed << std::setprecision(4) << std::setw(16)
+              << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_delay_summary().mean()
+              << std::setw(14) << r.p1_throughput_ci.mean << '\n';
   }
   std::cout << "\n'ns2' = resolve explicitly even for nodes just overheard (NS-2's ARP);\n"
                "'passive' learns from overheard AODV broadcasts, so the resolve round\n"

@@ -5,30 +5,37 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
-  core::report::print_header(std::cout, "Ablation — delayed ACKs at the EBL sinks");
-  std::cout << std::left << std::setw(9) << "MAC" << std::setw(10) << "delack" << std::right
-            << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
-
+  std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const bool delack : {false, true}) {
       core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
       cfg.ebl.sink.delayed_ack = delack;
       cfg.duration = sim::Time::seconds(std::int64_t{32});
-      const core::TrialResult r = core::run_trial(cfg);
-      std::cout << std::left << std::setw(9) << core::to_string(mac) << std::setw(10)
-                << (delack ? "on" : "off") << std::right << std::fixed << std::setprecision(4)
-                << std::setw(14) << r.p1_delay_summary().mean() << std::setw(16)
-                << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_throughput_ci.mean
-                << '\n';
+      configs.push_back(cfg);
     }
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+
+  core::report::print_header(std::cout, "Ablation — delayed ACKs at the EBL sinks");
+  std::cout << std::left << std::setw(9) << "MAC" << std::setw(10) << "delack" << std::right
+            << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)"
+            << std::setw(14) << "tput (Mbps)" << '\n';
+
+  for (const core::TrialResult& r : runs) {
+    std::cout << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(10)
+              << (r.config.ebl.sink.delayed_ack ? "on" : "off") << std::right << std::fixed
+              << std::setprecision(4) << std::setw(14) << r.p1_delay_summary().mean()
+              << std::setw(16) << r.p1_initial_packet_delay_s << std::setw(14)
+              << r.p1_throughput_ci.mean << '\n';
   }
   std::cout << "\nunder TDMA every ACK costs the follower's next slot, so delaying them\n"
                "frees slots but stretches the RTT the window is clocked by.\n";

@@ -6,29 +6,36 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
+  std::vector<core::ScenarioConfig> configs;
+  for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
+    for (const std::size_t bytes : {100, 250, 500, 1000, 1500}) {
+      core::ScenarioConfig cfg = core::make_trial_config(bytes, mac);
+      cfg.duration = sim::Time::seconds(std::int64_t{32});
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+
   core::report::print_header(std::cout, "Ablation — packet size sweep (platoon 1 metrics)");
   std::cout << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "bytes"
             << std::setw(14) << "avg delay(s)" << std::setw(14) << "max delay(s)"
             << std::setw(16) << "tput (Mbps)" << '\n';
 
-  for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
-    for (const std::size_t bytes : {100, 250, 500, 1000, 1500}) {
-      core::ScenarioConfig cfg = core::make_trial_config(bytes, mac);
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      const core::TrialResult r = core::run_trial(cfg);
-      const auto d = r.p1_delay_summary();
-      std::cout << std::left << std::setw(8) << core::to_string(mac) << std::right
-                << std::setw(10) << bytes << std::fixed << std::setprecision(4) << std::setw(14)
-                << d.mean() << std::setw(14) << d.max() << std::setw(16)
-                << r.p1_throughput_ci.mean << '\n';
-    }
+  for (const core::TrialResult& r : runs) {
+    const auto d = r.p1_delay_summary();
+    std::cout << std::left << std::setw(8) << core::to_string(r.config.mac) << std::right
+              << std::setw(10) << r.config.packet_bytes << std::fixed << std::setprecision(4)
+              << std::setw(14) << d.mean() << std::setw(14) << d.max() << std::setw(16)
+              << r.p1_throughput_ci.mean << '\n';
   }
   std::cout << "\nexpectation: TDMA delay column constant (slot-bound); TDMA throughput "
                "linear in size; 802.11 delay rises with size as utilisation grows.\n";

@@ -7,8 +7,10 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/scenario.hpp"
 #include "core/trial.hpp"
 #include "queue/red.hpp"
@@ -16,37 +18,33 @@
 using namespace eblnet;
 
 int main() {
-  core::report::print_header(std::cout,
-                             "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
-  std::cout << std::left << std::setw(12) << "queue" << std::setw(10) << "window" << std::right
-            << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)"
-            << std::setw(12) << "ifq drops" << '\n';
-
+  std::vector<core::TrialSpec> specs;
   for (const double window : {5.0, 60.0}) {
     for (const bool red : {false, true}) {
       core::ScenarioConfig cfg = core::trial1_config();
       cfg.ebl.tcp.max_window = window;
       cfg.ebl.tcp.initial_ssthresh = window;
       cfg.duration = sim::Time::seconds(std::int64_t{42});
-      // RED is not plumbed through ScenarioConfig (the paper fixes the
-      // queue); swap the MACs' queues cannot be done post-hoc, so use the
-      // red flag through a custom scenario run below instead.
-      if (!red) {
-        const core::TrialResult r = core::run_trial(cfg);
-        std::cout << std::left << std::setw(12) << "drop-tail" << std::setw(10) << window
-                  << std::right << std::fixed << std::setprecision(4) << std::setw(14)
-                  << r.p1_delay_summary().mean() << std::setw(14) << r.p1_throughput_ci.mean
-                  << std::setw(12) << r.ifq_drops << '\n';
-      } else {
+      if (red) {
         cfg.ifq_capacity = 50;
         cfg.use_red_queue = true;
-        const core::TrialResult r = core::run_trial(cfg);
-        std::cout << std::left << std::setw(12) << "RED" << std::setw(10) << window
-                  << std::right << std::fixed << std::setprecision(4) << std::setw(14)
-                  << r.p1_delay_summary().mean() << std::setw(14) << r.p1_throughput_ci.mean
-                  << std::setw(12) << r.ifq_drops << '\n';
       }
+      specs.push_back({cfg, red ? "RED" : "drop-tail"});
     }
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+
+  core::report::print_header(std::cout,
+                             "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
+  std::cout << std::left << std::setw(12) << "queue" << std::setw(10) << "window" << std::right
+            << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)"
+            << std::setw(12) << "ifq drops" << '\n';
+
+  for (const core::TrialResult& r : runs) {
+    std::cout << std::left << std::setw(12) << r.name << std::setw(10)
+              << r.config.ebl.tcp.max_window << std::right << std::fixed << std::setprecision(4)
+              << std::setw(14) << r.p1_delay_summary().mean() << std::setw(14)
+              << r.p1_throughput_ci.mean << std::setw(12) << r.ifq_drops << '\n';
   }
   std::cout << "\nwith the calibrated 5-packet window the buffer never fills and the\n"
                "disciplines coincide exactly. At window 60 both saturate: under TDMA\n"

@@ -9,8 +9,10 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
@@ -28,12 +30,7 @@ void print_row(const core::TrialResult& r) {
 }  // namespace
 
 int main() {
-  core::report::print_header(
-      std::cout, "Ablation — routing agent (initial-packet delay decomposition)");
-  std::cout << std::left << std::setw(10) << "MAC" << std::setw(10) << "routing" << std::right
-            << std::setw(16) << "init delay(s)" << std::setw(16) << "avg delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
-
+  std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const core::RoutingType routing :
          {core::RoutingType::kAodv, core::RoutingType::kDsdv, core::RoutingType::kStatic}) {
@@ -43,9 +40,18 @@ int main() {
         cfg.dsdv.periodic_update_interval = sim::Time::seconds(std::int64_t{1});
       }
       cfg.duration = sim::Time::seconds(std::int64_t{32});
-      print_row(core::run_trial(cfg));
+      configs.push_back(cfg);
     }
   }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+
+  core::report::print_header(
+      std::cout, "Ablation — routing agent (initial-packet delay decomposition)");
+  std::cout << std::left << std::setw(10) << "MAC" << std::setw(10) << "routing" << std::right
+            << std::setw(16) << "init delay(s)" << std::setw(16) << "avg delay(s)"
+            << std::setw(14) << "tput (Mbps)" << '\n';
+
+  for (const core::TrialResult& r : runs) print_row(r);
   std::cout << "\nthe AODV-minus-static gap in the init-delay column is route discovery's "
                "contribution to the first brake notification; DSDV trades it for "
                "standing control overhead.\n";

@@ -6,29 +6,36 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
+  std::vector<core::ScenarioConfig> configs;
+  for (const std::size_t threshold : {std::size_t{0}, std::size_t{SIZE_MAX}}) {
+    core::ScenarioConfig cfg = core::trial3_config();
+    cfg.mac80211.rts_threshold = threshold;
+    cfg.duration = sim::Time::seconds(std::int64_t{32});
+    configs.push_back(cfg);
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+
   core::report::print_header(std::cout, "Ablation — RTS/CTS (trial 3 setup)");
   std::cout << std::left << std::setw(14) << "rts_thresh" << std::right << std::setw(14)
             << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(14)
             << "tput (Mbps)" << std::setw(16) << "collisions" << '\n';
 
-  for (const std::size_t threshold : {std::size_t{0}, std::size_t{SIZE_MAX}}) {
-    core::ScenarioConfig cfg = core::trial3_config();
-    cfg.mac80211.rts_threshold = threshold;
-    cfg.duration = sim::Time::seconds(std::int64_t{32});
-    const core::TrialResult r = core::run_trial(cfg);
+  for (const core::TrialResult& r : runs) {
     const auto d = r.p1_delay_summary();
     std::cout << std::left << std::setw(14)
-              << (threshold == 0 ? "0 (always)" : "off") << std::right << std::fixed
-              << std::setprecision(4) << std::setw(14) << d.mean() << std::setw(14) << d.max()
-              << std::setw(14) << r.p1_throughput_ci.mean << std::setw(16) << r.phy_collisions
-              << '\n';
+              << (r.config.mac80211.rts_threshold == 0 ? "0 (always)" : "off") << std::right
+              << std::fixed << std::setprecision(4) << std::setw(14) << d.mean() << std::setw(14)
+              << d.max() << std::setw(14) << r.p1_throughput_ci.mean << std::setw(16)
+              << r.phy_collisions << '\n';
   }
   std::cout << "\nexpectation: with every node in carrier-sense range, RTS/CTS adds "
                "per-packet overhead (higher delay, lower throughput) without reducing "

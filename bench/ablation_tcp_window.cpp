@@ -6,37 +6,42 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
-  core::report::print_header(std::cout, "Ablation — TCP max window sweep (trial 1 setup)");
-  std::cout << std::left << std::setw(10) << "window" << std::right << std::setw(16)
-            << "steady delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14)
-            << "tput (Mbps)" << '\n';
-
+  std::vector<core::ScenarioConfig> configs;
   for (const double window : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0}) {
     core::ScenarioConfig cfg = core::trial1_config();
     cfg.ebl.tcp.max_window = window;
     cfg.ebl.tcp.initial_ssthresh = window;
     cfg.duration = sim::Time::seconds(std::int64_t{42});
-    core::EblScenario scenario{cfg};
-    scenario.run();
-    const trace::DelayAnalyzer delays{scenario.trace().records()};
-    const auto middle = delays.flow(core::EblScenario::kP1Lead, core::EblScenario::kP1Middle);
+    configs.push_back(cfg);
+  }
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+
+  core::report::print_header(std::cout, "Ablation — TCP max window sweep (trial 1 setup)");
+  std::cout << std::left << std::setw(10) << "window" << std::right << std::setw(16)
+            << "steady delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14)
+            << "tput (Mbps)" << '\n';
+
+  for (const core::TrialResult& r : runs) {
+    const std::vector<trace::DelaySample>& middle = r.p1_middle;
     stats::Summary steady;
     stats::Summary all = trace::DelayAnalyzer::summarize(middle);
     for (const auto& d : middle) {
       if (d.seq >= 30) steady.add(d.delay_seconds());
     }
-    const auto tput =
-        scenario.throughput1().series().summarize(cfg.platoon1_brake_at, cfg.duration);
-    std::cout << std::left << std::setw(10) << window << std::right << std::fixed
-              << std::setprecision(4) << std::setw(16) << (steady.empty() ? 0.0 : steady.mean())
-              << std::setw(14) << all.mean() << std::setw(14) << tput.mean() << '\n';
+    const auto tput = r.p1_throughput.summarize(r.config.platoon1_brake_at, r.config.duration);
+    std::cout << std::left << std::setw(10) << r.config.ebl.tcp.max_window << std::right
+              << std::fixed << std::setprecision(4) << std::setw(16)
+              << (steady.empty() ? 0.0 : steady.mean()) << std::setw(14) << all.mean()
+              << std::setw(14) << tput.mean() << '\n';
   }
   std::cout << "\nexpectation: steady delay ~ linear in window while throughput is flat "
                "(the MAC, not the window, is the bottleneck).\n";

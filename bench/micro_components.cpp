@@ -51,6 +51,34 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancelHeavy)->Arg(10000);
 
+void BM_SchedulerChurn(benchmark::State& state) {
+  // Steady-state schedule/cancel/pop mix with a bounded pending set —
+  // the shape of a long simulation run (timers constantly armed,
+  // rescheduled, and fired) rather than a one-shot bulk load. Exercises
+  // slot recycling: with `window` pending events the slot table stays
+  // small and ids are reused continuously.
+  const auto window = static_cast<std::size_t>(state.range(0));
+  sim::Scheduler sched;
+  std::vector<sim::EventId> pending(window, sim::kInvalidEventId);
+  std::int64_t t_us = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    pending[i] = sched.schedule_at(sim::Time::microseconds(++t_us), [] {});
+  }
+  std::size_t cursor = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    // Cancel one armed timer (reschedule pattern), arm a replacement,
+    // then run the scheduler forward one event.
+    sched.cancel(pending[cursor]);
+    pending[cursor] = sched.schedule_at(sim::Time::microseconds(++t_us), [] {});
+    sched.run(1);
+    cursor = (cursor + 1) % window;
+    ops += 3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(64)->Arg(1024);
+
 void BM_PacketCopy(benchmark::State& state) {
   net::Packet p;
   p.uid = 7;

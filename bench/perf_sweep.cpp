@@ -1,0 +1,138 @@
+// Timing harness for the parallel trial engine. Runs the 30-trial
+// confidence sweep (3 trials x 10 seeds, the heaviest table in the
+// reproduction) serially (jobs=1) and through the runner at the resolved
+// job count, then writes events/sec, per-trial wall time, and the
+// parallel speedup to BENCH_sweep.json.
+//
+// Usage: perf_sweep [output.json]   (default: BENCH_sweep.json)
+//
+// Wall-clock numbers are only meaningful in a Release build; use
+// scripts/bench.sh, which configures -O2 -DNDEBUG before timing.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/trial.hpp"
+
+using namespace eblnet;
+
+namespace {
+
+struct SweepTiming {
+  unsigned jobs{1};
+  double wall_s{0.0};
+  std::uint64_t events{0};
+  std::size_t trials{0};
+
+  double events_per_sec() const { return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0; }
+  double per_trial_ms() const {
+    return trials > 0 ? wall_s * 1e3 / static_cast<double>(trials) : 0.0;
+  }
+};
+
+std::vector<core::TrialSpec> confidence_specs() {
+  std::vector<core::TrialSpec> specs;
+  int trial = 0;
+  for (const core::ScenarioConfig& base :
+       {core::trial1_config(), core::trial2_config(), core::trial3_config()}) {
+    ++trial;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      core::ScenarioConfig cfg = base;
+      cfg.seed = seed;
+      cfg.duration = sim::Time::seconds(std::int64_t{32});
+      specs.push_back({cfg, "trial " + std::to_string(trial)});
+    }
+  }
+  return specs;
+}
+
+SweepTiming time_sweep(unsigned jobs) {
+  const std::vector<core::TrialSpec> specs = confidence_specs();
+  const core::Runner runner{jobs};
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<core::TrialResult> runs = runner.run_trials(specs);
+  const auto stop = std::chrono::steady_clock::now();
+
+  SweepTiming t;
+  t.jobs = runner.jobs();
+  t.wall_s = std::chrono::duration<double>(stop - start).count();
+  t.trials = runs.size();
+  t.events = std::accumulate(runs.begin(), runs.end(), std::uint64_t{0},
+                             [](std::uint64_t acc, const core::TrialResult& r) {
+                               return acc + r.events_executed;
+                             });
+  return t;
+}
+
+void print_row(const char* label, const SweepTiming& t) {
+  std::cout << std::left << std::setw(10) << label << std::right << std::setw(6) << t.jobs
+            << std::fixed << std::setprecision(3) << std::setw(12) << t.wall_s
+            << std::setprecision(1) << std::setw(14) << t.per_trial_ms() << std::setprecision(0)
+            << std::setw(14) << t.events_per_sec() << '\n';
+}
+
+bool write_json(const std::string& path, const SweepTiming& serial, const SweepTiming& parallel,
+                double speedup) {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << std::fixed << std::setprecision(6);
+  out << "{\n"
+      << "  \"sweep\": \"confidence_seeds (3 trials x 10 seeds, 32 s)\",\n"
+      << "  \"trials\": " << serial.trials << ",\n"
+      << "  \"serial\": {\n"
+      << "    \"jobs\": " << serial.jobs << ",\n"
+      << "    \"wall_s\": " << serial.wall_s << ",\n"
+      << "    \"per_trial_ms\": " << serial.per_trial_ms() << ",\n"
+      << "    \"events\": " << serial.events << ",\n"
+      << "    \"events_per_sec\": " << serial.events_per_sec() << "\n"
+      << "  },\n"
+      << "  \"parallel\": {\n"
+      << "    \"jobs\": " << parallel.jobs << ",\n"
+      << "    \"wall_s\": " << parallel.wall_s << ",\n"
+      << "    \"per_trial_ms\": " << parallel.per_trial_ms() << ",\n"
+      << "    \"events\": " << parallel.events << ",\n"
+      << "    \"events_per_sec\": " << parallel.events_per_sec() << "\n"
+      << "  },\n"
+      << "  \"speedup\": " << speedup << "\n"
+      << "}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+  std::cout << "perf_sweep: 30-trial confidence sweep, serial vs parallel\n\n";
+  std::cout << std::left << std::setw(10) << "mode" << std::right << std::setw(6) << "jobs"
+            << std::setw(12) << "wall (s)" << std::setw(14) << "trial (ms)" << std::setw(14)
+            << "events/s" << '\n';
+
+  const SweepTiming serial = time_sweep(1);
+  print_row("serial", serial);
+
+  const SweepTiming parallel = time_sweep(0);  // EBLNET_JOBS / hardware_concurrency
+  print_row("parallel", parallel);
+
+  const double speedup = parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0;
+  if (serial.events != parallel.events) {
+    std::cerr << "warning: serial and parallel sweeps executed different event counts ("
+              << serial.events << " vs " << parallel.events << ") — determinism bug?\n";
+  }
+  std::cout << "\nspeedup: " << std::fixed << std::setprecision(2) << speedup << "x at "
+            << parallel.jobs << " job(s)\n";
+
+  if (!write_json(out_path, serial, parallel, speedup)) {
+    std::cerr << "error: could not write " << out_path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << out_path << '\n';
+  return 0;
+}

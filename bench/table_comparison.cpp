@@ -7,16 +7,22 @@
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/report.hpp"
+#include "core/runner.hpp"
 #include "core/trial.hpp"
 
 using namespace eblnet;
 
 int main() {
-  const core::TrialResult t1 = core::run_trial(core::trial1_config(), "Trial 1");
-  const core::TrialResult t2 = core::run_trial(core::trial2_config(), "Trial 2");
-  const core::TrialResult t3 = core::run_trial(core::trial3_config(), "Trial 3");
+  const std::vector<core::TrialSpec> specs{{core::trial1_config(), "Trial 1"},
+                                           {core::trial2_config(), "Trial 2"},
+                                           {core::trial3_config(), "Trial 3"}};
+  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+  const core::TrialResult& t1 = runs[0];
+  const core::TrialResult& t2 = runs[1];
+  const core::TrialResult& t3 = runs[2];
 
   core::report::print_header(std::cout, "§III.E — comparison of trials (platoon 1)");
   std::cout << std::left << std::setw(34) << "metric" << std::right << std::setw(14)

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Timing runs: build Release (-O2 -DNDEBUG) into its own build dir, then
+# run the parallel-sweep harness (writes BENCH_sweep.json at the repo
+# root) and the scheduler/packet micro-benchmarks. Debug or
+# RelWithDebInfo numbers are not comparable; this script exists so every
+# recorded number comes from the same optimized configuration.
+#
+# EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=build-release
+
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD"
+
+echo "== perf_sweep (serial vs parallel confidence sweep) =="
+"$BUILD"/bench/perf_sweep BENCH_sweep.json
+
+echo
+echo "== micro_components (scheduler/packet hot paths) =="
+"$BUILD"/bench/micro_components --benchmark_filter='Scheduler|Packet' \
+    --benchmark_min_time=0.2

@@ -73,6 +73,7 @@ TrialResult run_trial(const ScenarioConfig& config, std::string name,
   TrialResult r;
   r.name = std::move(name);
   r.config = config;
+  r.events_executed = scenario.env().scheduler().executed_count();
 
   const trace::DelayAnalyzer delays{scenario.trace().records()};
   r.p1_middle = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Middle);

@@ -8,6 +8,7 @@
 // Engine
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
 
@@ -64,6 +65,7 @@
 #include "core/reactor.hpp"
 #include "core/report.hpp"
 #include "core/rsu.hpp"
+#include "core/runner.hpp"
 #include "core/safety.hpp"
 #include "core/scenario.hpp"
 #include "core/trial.hpp"

@@ -139,19 +139,24 @@ void Channel::detach(WirelessPhy* phy) {
   std::erase(phys_, phy);
 }
 
-void Channel::transmit(WirelessPhy& sender, const net::Packet& p, sim::Time duration) {
+void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
   const mobility::Vec2 from = sender.position();
+  scratch_.clear();
   for (WirelessPhy* rx : phys_) {
     if (rx == &sender) continue;
     if (rx->channel_id() != sender.channel_id()) continue;  // different frequency
     const double d = mobility::distance(from, rx->position());
     const double power = propagation_->rx_power(sender.params().tx_power_w, d);
     if (power < rx->params().cs_threshold_w) continue;  // invisible
-    const sim::Time prop_delay = sim::Time::seconds(d / kSpeedOfLight);
-    net::Packet copy = p;
-    env_.scheduler().schedule_in(prop_delay, [rx, copy = std::move(copy), power, duration]() mutable {
-      rx->signal_start(std::move(copy), power, duration);
-    });
+    scratch_.push_back({rx, power, sim::Time::seconds(d / kSpeedOfLight)});
+  }
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    const Reachable& r = scratch_[i];
+    net::Packet copy = i + 1 < scratch_.size() ? p : std::move(p);
+    env_.scheduler().schedule_in(
+        r.prop_delay, [rx = r.rx, copy = std::move(copy), power = r.power_w, duration]() mutable {
+          rx->signal_start(std::move(copy), power, duration);
+        });
   }
 }
 

@@ -130,15 +130,25 @@ class Channel {
   void attach(WirelessPhy* phy);
   void detach(WirelessPhy* phy);
 
-  void transmit(WirelessPhy& sender, const net::Packet& p, sim::Time duration);
+  /// Fan `p` out to every in-range receiver. Takes the packet by value:
+  /// the last receiver is handed the caller's packet by move, so a
+  /// broadcast with N listeners costs N-1 copies instead of N.
+  void transmit(WirelessPhy& sender, net::Packet p, sim::Time duration);
 
   const PropagationModel& propagation() const noexcept { return *propagation_; }
   std::size_t phy_count() const noexcept { return phys_.size(); }
 
  private:
+  struct Reachable {
+    WirelessPhy* rx;
+    double power_w;
+    sim::Time prop_delay;
+  };
+
   net::Env& env_;
   std::shared_ptr<PropagationModel> propagation_;
   std::vector<WirelessPhy*> phys_;
+  std::vector<Reachable> scratch_;  ///< per-transmit receiver list, reused
 };
 
 }  // namespace eblnet::phy

@@ -376,7 +376,7 @@ void Aodv::send_rerr(const std::vector<net::AodvRerrHeader::Unreachable>& list) 
   net::Packet p = make_control(net::PacketType::kAodvRerr, net::kBroadcastAddress, 1);
   net::AodvRerrHeader h;
   h.unreachable = list;
-  p.aodv = h;
+  p.aodv = std::move(h);
   ++stats_.rerr_sent;
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kRouter, self_, p);
   broadcast_jittered(std::move(p));

@@ -1,49 +1,97 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace eblnet::sim {
 
+Scheduler::Scheduler() { heap_.reserve(kInitialHeapCapacity); }
+
+const Scheduler::Slot* Scheduler::resolve(EventId id) const noexcept {
+  if (id == kInvalidEventId) return nullptr;
+  const std::uint64_t index = (id & 0xffff'ffffULL) - 1;
+  if (index >= slots_.size()) return nullptr;
+  const Slot& s = slots_[index];
+  if (!s.in_use || s.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  return &s;
+}
+
 EventId Scheduler::schedule_at(Time at, Callback cb) {
   if (at < now_) throw std::invalid_argument{"Scheduler: event scheduled in the past"};
   if (!cb) throw std::invalid_argument{"Scheduler: empty callback"};
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(cb)});
-  live_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.in_use = true;
+  s.cancelled = false;
+  heap_.push_back(Entry{at, next_seq_++, slot, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return make_id(slot, s.gen);
 }
 
-void Scheduler::cancel(EventId id) { live_.erase(id); }
+void Scheduler::cancel(EventId id) {
+  Slot* s = const_cast<Slot*>(resolve(id));
+  if (s == nullptr || s->cancelled) return;
+  s->cancelled = true;
+  --live_;
+}
 
-bool Scheduler::is_pending(EventId id) const { return live_.contains(id); }
+bool Scheduler::is_pending(EventId id) const {
+  const Slot* s = resolve(id);
+  return s != nullptr && !s->cancelled;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.in_use = false;
+  s.cancelled = false;
+  ++s.gen;  // invalidate every EventId handed out for this occupancy
+  free_slots_.push_back(slot);
+}
+
+Scheduler::Entry Scheduler::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
 
 bool Scheduler::pop_next(Entry& out) {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; the Entry must be moved out, so we
-    // const_cast the callback. The entry is popped immediately after.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    const bool alive = live_.erase(top.id) > 0;
-    out = Entry{top.at, top.id, std::move(top.cb)};
-    heap_.pop();
-    if (alive) return true;
+    Entry e = pop_top();
+    const bool alive = !slots_[e.slot].cancelled;
+    release_slot(e.slot);
+    if (alive) {
+      --live_;
+      out = std::move(e);
+      return true;
+    }
   }
   return false;
 }
 
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t n = 0;
-  Entry e;
-  while (!heap_.empty() && heap_.top().at <= until) {
-    if (!pop_next(e)) break;
-    if (e.at > until) {
-      // The popped event belongs to the future (a cancelled event hid it);
-      // reinsert and stop.
-      live_.insert(e.id);
-      heap_.push(std::move(e));
-      break;
+  while (!heap_.empty()) {
+    // Discard cancelled entries from the top so the time peek below sees
+    // the next event that will actually fire.
+    if (slots_[heap_.front().slot].cancelled) {
+      release_slot(pop_top().slot);
+      continue;
     }
+    if (heap_.front().at > until) break;
+    Entry e = pop_top();
+    release_slot(e.slot);
+    --live_;
     now_ = e.at;
     ++executed_;
     ++n;
@@ -67,8 +115,11 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
 }
 
 void Scheduler::clear() {
-  heap_ = {};
-  live_.clear();
+  heap_.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].in_use) release_slot(i);
+  }
+  live_ = 0;
 }
 
 }  // namespace eblnet::sim

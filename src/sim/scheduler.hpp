@@ -2,8 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -20,13 +18,28 @@ inline constexpr EventId kInvalidEventId = 0;
 /// Events fire in nondecreasing time order; events scheduled for the same
 /// instant fire in the order they were scheduled (FIFO tie-break via a
 /// monotonically increasing sequence number), which keeps simulations
-/// deterministic. Cancellation is O(1) lazy: cancelled ids are skipped
-/// when they reach the top of the heap.
+/// deterministic. Cancellation is O(1) lazy: a cancelled entry stays in
+/// the heap and is discarded when it reaches the top.
+///
+/// Hot-path design: every simulated packet turns into several schedule/
+/// pop pairs, so neither operation hashes. An EventId encodes an index
+/// into a slot table plus a generation counter; schedule, cancel,
+/// is_pending and the liveness check on pop are all plain array accesses.
+/// Cancelled-state bookkeeping is proportional to the (rare) cancels, not
+/// to the (ubiquitous) normal events, and the heap's backing vector is
+/// reserved up front and recycled, so steady-state scheduling never
+/// allocates.
+///
+/// Clock semantics: `run_until(until)` always leaves `now() == until`
+/// (unless the clock is already past it), even when no event fires at or
+/// before the bound — callers use it to advance the simulation in fixed
+/// steps and rely on the clock landing exactly on the step boundary.
+/// Events exactly at `until` do fire (the bound is inclusive).
 class Scheduler {
  public:
   using Callback = std::function<void()>;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -48,7 +61,9 @@ class Scheduler {
   bool is_pending(EventId id) const;
 
   /// Run events until the queue is empty or the time of the next event
-  /// exceeds `until`. Returns the number of events executed.
+  /// exceeds `until` (inclusive: events at exactly `until` fire). Always
+  /// advances now() to `until` before returning, even when no event fired
+  /// at or before the bound. Returns the number of events executed.
   std::uint64_t run_until(Time until);
 
   /// Run all events to quiescence. `max_events` guards against runaway
@@ -58,29 +73,52 @@ class Scheduler {
   /// Drop every pending event (does not reset the clock).
   void clear();
 
-  std::size_t pending_count() const noexcept { return live_.size(); }
+  std::size_t pending_count() const noexcept { return live_; }
   std::uint64_t executed_count() const noexcept { return executed_; }
 
  private:
   struct Entry {
     Time at;
-    EventId id;
+    std::uint64_t seq;    ///< global FIFO tie-break (monotonic)
+    std::uint32_t slot;   ///< index into slots_
     Callback cb;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return a.at > b.at || (a.at == b.at && a.id > b.id);
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
     }
   };
 
+  /// Liveness record for one in-flight event. The generation counter
+  /// disambiguates recycled slots, so a stale EventId (fired, cancelled,
+  /// or cleared long ago) can never alias a newer event.
+  struct Slot {
+    std::uint32_t gen{0};
+    bool in_use{false};
+    bool cancelled{false};
+  };
+
+  static constexpr std::size_t kInitialHeapCapacity = 1024;
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+  }
+  /// The Slot for `id` iff `id` names its current occupant; else nullptr.
+  const Slot* resolve(EventId id) const noexcept;
+
+  void release_slot(std::uint32_t slot);
   /// Pops the next live entry into `out`; false when the queue is empty.
   bool pop_next(Entry& out);
+  /// Removes the heap top (cancelled entries included) into `out`.
+  Entry pop_top();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> live_;
+  std::vector<Entry> heap_;  ///< binary heap via std::push_heap/pop_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Time now_{};
-  EventId next_id_{1};
+  std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};
+  std::size_t live_{0};  ///< scheduled, not yet fired, not cancelled
 };
 
 }  // namespace eblnet::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eblnet::sim {
+
+/// Fixed-size thread pool for fanning independent simulations out across
+/// cores. Deliberately minimal — a locked FIFO queue, no work stealing —
+/// because the work items (whole trials) are hundreds of milliseconds
+/// each, so queue contention is irrelevant and simplicity wins.
+///
+/// A pool of size 0 degenerates to inline execution: submit() runs the
+/// task on the calling thread before returning. That keeps callers
+/// branch-free and makes serial execution (for determinism baselines or
+/// single-core hosts) the same code path as parallel execution.
+///
+/// Exceptions thrown by a task are captured in the task's future and
+/// rethrown from future::get() on the caller's thread.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 = run everything inline on submit).
+  explicit ThreadPool(unsigned threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 = inline mode).
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue `fn` and return a future for its result. Safe to call from
+  /// multiple threads. Tasks start in FIFO order (completion order is up
+  /// to the scheduler).
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F fn) {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task{std::move(fn)};
+    std::future<R> result = task.get_future();
+    if (workers_.empty()) {
+      task();  // inline fallback: the exception (if any) lands in the future
+      return result;
+    }
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      queue_.emplace_back(std::packaged_task<void()>{std::move(task)});
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Worker count to use when the caller does not specify one: the
+  /// EBLNET_JOBS environment variable if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency() (min 1).
+  static unsigned default_concurrency();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_{false};
+};
+
+}  // namespace eblnet::sim

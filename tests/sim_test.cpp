@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -173,6 +174,72 @@ TEST(SchedulerTest, CancelledEventHidingFutureOneIsHandledByRunUntil) {
   EXPECT_FALSE(ran);
   EXPECT_EQ(s.run_until(3_s), 1u);
   EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockPastLastEvent) {
+  // The bound is where simulated time ends up, even when the last event
+  // fires earlier: a 32 s trial whose traffic dies at 20 s still reports
+  // now() == 32 s, so rate denominators use the full window.
+  Scheduler s;
+  s.schedule_at(1_s, [] {});
+  EXPECT_EQ(s.run_until(10_s), 1u);
+  EXPECT_EQ(s.now(), 10_s);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenOnlyCancelledEventsRemain) {
+  Scheduler s;
+  const EventId id = s.schedule_at(2_s, [] { FAIL(); });
+  s.cancel(id);
+  EXPECT_EQ(s.run_until(5_s), 0u);
+  EXPECT_EQ(s.now(), 5_s);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(SchedulerTest, StaleIdOfFiredEventDoesNotCancelRecycledSlot) {
+  // Slots are recycled; the generation tag must keep an id from a fired
+  // event from acting on whatever reuses its slot.
+  Scheduler s;
+  bool first = false, second = false;
+  const EventId a = s.schedule_at(1_s, [&] { first = true; });
+  s.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(s.is_pending(a));
+  const EventId b = s.schedule_at(2_s, [&] { second = true; });
+  s.cancel(a);  // stale: must not touch b even if it reuses a's slot
+  EXPECT_TRUE(s.is_pending(b));
+  s.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(SchedulerTest, ClearInvalidatesOutstandingIds) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_s, [] { FAIL(); });
+  s.clear();
+  bool ran = false;
+  const EventId b = s.schedule_at(1_s, [&] { ran = true; });
+  s.cancel(a);  // id from before clear(); must not hit b
+  EXPECT_TRUE(s.is_pending(b));
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, HeavyChurnKeepsFifoOrderAndCounts) {
+  // Schedule/cancel churn recycles slots aggressively; FIFO tie-break
+  // and pending/executed counters must survive it.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(s.schedule_at(1_s, [&order, round, i] { order.push_back(round * 8 + i); }));
+    }
+    s.cancel(ids[ids.size() - 2]);  // drop the 7th of each batch
+  }
+  EXPECT_EQ(s.pending_count(), 50u * 7u);
+  s.run();
+  EXPECT_EQ(order.size(), 50u * 7u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(s.executed_count(), 50u * 7u);
 }
 
 // ---------------------------------------------------------------------------

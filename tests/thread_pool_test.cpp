@@ -1,0 +1,88 @@
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace eblnet::sim {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInlineOnSubmit) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto ran_on = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on.get(), caller);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsOffCallingThread) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto ran_on = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(ran_on.get(), caller);
+}
+
+TEST(ThreadPoolTest, FuturesReturnResultsForEverySubmission) {
+  ThreadPool pool{4};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  // One worker drains the FIFO in submission order — the property the
+  // runner's jobs=1 path relies on for serial-identical behaviour.
+  ThreadPool pool{1};
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool{2};
+  auto failing = pool.submit([]() -> int { throw std::runtime_error{"trial failed"}; });
+  auto fine = pool.submit([] { return 7; });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  EXPECT_EQ(fine.get(), 7);  // one failure doesn't poison the pool
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyHonoursEnvOverride) {
+  ::setenv("EBLNET_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 3u);
+  ::setenv("EBLNET_JOBS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+  ::setenv("EBLNET_JOBS", "-2", 1);
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+  ::unsetenv("EBLNET_JOBS");
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+}  // namespace
+}  // namespace eblnet::sim
