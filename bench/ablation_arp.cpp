@@ -7,13 +7,15 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   struct Variant {
     const char* label;
     bool use_arp;
@@ -23,28 +25,35 @@ int main() {
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const Variant v : {Variant{"off", false, true}, Variant{"passive", true, true},
                             Variant{"ns2", true, false}}) {
-      core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
-      cfg.use_arp = v.use_arp;
-      cfg.arp.passive_learning = v.passive;
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      specs.push_back({cfg, v.label});
+      specs.push_back({core::ScenarioBuilder::trial(1000, mac)
+                           .arp(v.use_arp)
+                           .duration(sim::Time::seconds(std::int64_t{32}))
+                           .mutate([&](core::ScenarioConfig& c) {
+                             c.arp.passive_learning = v.passive;
+                             opts.apply(c);
+                           })
+                           .build(),
+                       v.label});
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
 
-  core::report::print_header(std::cout, "Ablation — ARP link layer (NS-2 LL stage)");
-  std::cout << std::left << std::setw(9) << "MAC" << std::setw(8) << "ARP" << std::right
-            << std::setw(16) << "init delay(s)" << std::setw(14) << "avg delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — ARP link layer (NS-2 LL stage)");
+  os << std::left << std::setw(9) << "MAC" << std::setw(8) << "ARP" << std::right
+     << std::setw(16) << "init delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14)
+     << "tput (Mbps)" << '\n';
 
   for (const core::TrialResult& r : runs) {
-    std::cout << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(8)
-              << r.name << std::right << std::fixed << std::setprecision(4) << std::setw(16)
-              << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_delay_summary().mean()
-              << std::setw(14) << r.p1_throughput_ci.mean << '\n';
+    os << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(8) << r.name
+       << std::right << std::fixed << std::setprecision(4) << std::setw(16)
+       << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_delay_summary().mean()
+       << std::setw(14) << r.p1_throughput_ci.mean << '\n';
   }
-  std::cout << "\n'ns2' = resolve explicitly even for nodes just overheard (NS-2's ARP);\n"
-               "'passive' learns from overheard AODV broadcasts, so the resolve round\n"
-               "trip disappears from the brake-notification path.\n";
+  os << "\n'ns2' = resolve explicitly even for nodes just overheard (NS-2's ARP);\n"
+        "'passive' learns from overheard AODV broadcasts, so the resolve round\n"
+        "trip disappears from the brake-notification path.\n";
+
+  if (opts.want_json()) core::report::write_sweep_json_file(opts.json_path, "ablation_arp", runs);
   return 0;
 }

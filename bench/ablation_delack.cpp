@@ -7,37 +7,45 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const bool delack : {false, true}) {
-      core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
-      cfg.ebl.sink.delayed_ack = delack;
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      configs.push_back(cfg);
+      configs.push_back(core::ScenarioBuilder::trial(1000, mac)
+                            .duration(sim::Time::seconds(std::int64_t{32}))
+                            .mutate([&](core::ScenarioConfig& c) {
+                              c.ebl.sink.delayed_ack = delack;
+                              opts.apply(c);
+                            })
+                            .build());
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — delayed ACKs at the EBL sinks");
-  std::cout << std::left << std::setw(9) << "MAC" << std::setw(10) << "delack" << std::right
-            << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — delayed ACKs at the EBL sinks");
+  os << std::left << std::setw(9) << "MAC" << std::setw(10) << "delack" << std::right
+     << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(14)
+     << "tput (Mbps)" << '\n';
 
   for (const core::TrialResult& r : runs) {
-    std::cout << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(10)
-              << (r.config.ebl.sink.delayed_ack ? "on" : "off") << std::right << std::fixed
-              << std::setprecision(4) << std::setw(14) << r.p1_delay_summary().mean()
-              << std::setw(16) << r.p1_initial_packet_delay_s << std::setw(14)
-              << r.p1_throughput_ci.mean << '\n';
+    os << std::left << std::setw(9) << core::to_string(r.config.mac) << std::setw(10)
+       << (r.config.ebl.sink.delayed_ack ? "on" : "off") << std::right << std::fixed
+       << std::setprecision(4) << std::setw(14) << r.p1_delay_summary().mean() << std::setw(16)
+       << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_throughput_ci.mean << '\n';
   }
-  std::cout << "\nunder TDMA every ACK costs the follower's next slot, so delaying them\n"
-               "frees slots but stretches the RTT the window is clocked by.\n";
+  os << "\nunder TDMA every ACK costs the follower's next slot, so delaying them\n"
+        "frees slots but stretches the RTT the window is clocked by.\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_delack", runs);
   return 0;
 }

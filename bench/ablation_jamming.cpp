@@ -5,6 +5,7 @@
 // jammer parked at the intersection, swept over duty cycles, against
 // (a) 802.11, (b) plain TDMA, and (c) TDMA+FHSS over 8 channels.
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -12,7 +13,9 @@
 #include <vector>
 
 #include "app/jammer.hpp"
+#include "bench/options.hpp"
 #include "core/ebl_app.hpp"
+#include "core/json_writer.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "mac/mac_80211.hpp"
@@ -121,31 +124,64 @@ Result run(Setup setup, double duty) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This bench builds its stack by hand (the jammer is not part of the
+  // intersection scenario), so --seed has nothing to act on; the other
+  // unified flags work as usual.
+  const bench::Options opts = bench::Options::parse(argc, argv);
   // Each (setup, duty) run builds its own Env/channel/nodes, so the grid
   // is embarrassingly parallel: fan it out through the runner's map.
   std::vector<std::pair<Setup, double>> grid;
   for (const Setup setup : {Setup::k80211, Setup::kTdma, Setup::kTdmaFhss}) {
     for (const double duty : {0.0, 0.3, 0.6, 0.9}) grid.emplace_back(setup, duty);
   }
-  const std::vector<Result> results = core::Runner{}.map(
+  const std::vector<Result> results = core::Runner{opts.jobs}.map(
       grid.size(), [&grid](std::size_t i) { return run(grid[i].first, grid[i].second); });
 
-  core::report::print_header(std::cout,
-                             "Ablation — jamming resilience (stopped platoon, 20 s of EBL)");
-  std::cout << std::left << std::setw(12) << "setup" << std::right << std::setw(8) << "duty"
-            << std::setw(12) << "delivered" << std::setw(14) << "avg delay(s)" << std::setw(14)
-            << "collisions" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — jamming resilience (stopped platoon, 20 s of EBL)");
+  os << std::left << std::setw(12) << "setup" << std::right << std::setw(8) << "duty"
+     << std::setw(12) << "delivered" << std::setw(14) << "avg delay(s)" << std::setw(14)
+     << "collisions" << '\n';
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const Result& r = results[i];
-    std::cout << std::left << std::setw(12) << name(grid[i].first) << std::right << std::fixed
-              << std::setprecision(1) << std::setw(8) << grid[i].second << std::setw(12)
-              << r.delivered << std::setprecision(4) << std::setw(14) << r.avg_delay_s
-              << std::setw(14) << r.collisions << '\n';
+    os << std::left << std::setw(12) << name(grid[i].first) << std::right << std::fixed
+       << std::setprecision(1) << std::setw(8) << grid[i].second << std::setw(12) << r.delivered
+       << std::setprecision(4) << std::setw(14) << r.avg_delay_s << std::setw(14)
+       << r.collisions << '\n';
   }
-  std::cout << "\nexpectation: 802.11 degrades sharply (carrier sense defers to the\n"
-               "jammer and frames collide); plain TDMA is corrupted in proportion to\n"
-               "the duty cycle; TDMA+FHSS retains most deliveries because the hop\n"
-               "sequence leaves the jammer's channel ~7/8 of the time.\n";
+  os << "\nexpectation: 802.11 degrades sharply (carrier sense defers to the\n"
+        "jammer and frames collide); plain TDMA is corrupted in proportion to\n"
+        "the duty cycle; TDMA+FHSS retains most deliveries because the hop\n"
+        "sequence leaves the jammer's channel ~7/8 of the time.\n";
+
+  if (opts.want_json()) {
+    // The jammer grid has no TrialResult, so it gets its own manifest
+    // kind rather than the trial/sweep schema.
+    std::ofstream out{opts.json_path};
+    if (!out) {
+      std::cerr << "error: could not write " << opts.json_path << '\n';
+      return 1;
+    }
+    core::JsonWriter w{out};
+    w.begin_object();
+    w.field("schema_version", std::uint64_t{core::report::kManifestSchemaVersion});
+    w.field("kind", "eblnet.jamming");
+    w.field("name", "ablation_jamming");
+    w.key("rows");
+    w.begin_array();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      w.begin_object();
+      w.field("setup", name(grid[i].first));
+      w.field("duty", grid[i].second);
+      w.field("delivered", results[i].delivered);
+      w.field("avg_delay_s", results[i].avg_delay_s);
+      w.field("collisions", results[i].collisions);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
   return 0;
 }

@@ -8,36 +8,44 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const std::size_t bytes : {100, 250, 500, 1000, 1500}) {
-      core::ScenarioConfig cfg = core::make_trial_config(bytes, mac);
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
+      core::ScenarioConfig cfg = core::ScenarioBuilder::trial(bytes, mac)
+                                     .duration(sim::Time::seconds(std::int64_t{32}))
+                                     .build();
+      opts.apply(cfg);
       configs.push_back(cfg);
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — packet size sweep (platoon 1 metrics)");
-  std::cout << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "bytes"
-            << std::setw(14) << "avg delay(s)" << std::setw(14) << "max delay(s)"
-            << std::setw(16) << "tput (Mbps)" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — packet size sweep (platoon 1 metrics)");
+  os << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "bytes"
+     << std::setw(14) << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(16)
+     << "tput (Mbps)" << '\n';
 
   for (const core::TrialResult& r : runs) {
     const auto d = r.p1_delay_summary();
-    std::cout << std::left << std::setw(8) << core::to_string(r.config.mac) << std::right
-              << std::setw(10) << r.config.packet_bytes << std::fixed << std::setprecision(4)
-              << std::setw(14) << d.mean() << std::setw(14) << d.max() << std::setw(16)
-              << r.p1_throughput_ci.mean << '\n';
+    os << std::left << std::setw(8) << core::to_string(r.config.mac) << std::right
+       << std::setw(10) << r.config.packet_bytes << std::fixed << std::setprecision(4)
+       << std::setw(14) << d.mean() << std::setw(14) << d.max() << std::setw(16)
+       << r.p1_throughput_ci.mean << '\n';
   }
-  std::cout << "\nexpectation: TDMA delay column constant (slot-bound); TDMA throughput "
-               "linear in size; 802.11 delay rises with size as utilisation grows.\n";
+  os << "\nexpectation: TDMA delay column constant (slot-bound); TDMA throughput "
+        "linear in size; 802.11 delay rises with size as utilisation grows.\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_packet_size", runs);
   return 0;
 }

@@ -9,37 +9,44 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const std::size_t size : {2, 3, 5, 8}) {
-      core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
-      cfg.platoon_size = size;
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      configs.push_back(cfg);
+      configs.push_back(core::ScenarioBuilder::trial(1000, mac)
+                            .platoon_size(size)
+                            .duration(sim::Time::seconds(std::int64_t{32}))
+                            .mutate([&](core::ScenarioConfig& c) { opts.apply(c); })
+                            .build());
     }
   }
   // TrialResult's platoon-1 flows (lead -> nodes 1 and 2) remain the
   // representative metric at every size.
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — platoon size sweep (future work, §IV)");
-  std::cout << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "size"
-            << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)"
-            << std::setw(16) << "tput (Mbps)" << std::setw(14) << "collisions" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — platoon size sweep (future work, §IV)");
+  os << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "size"
+     << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(16)
+     << "tput (Mbps)" << std::setw(14) << "collisions" << '\n';
 
   for (const core::TrialResult& r : runs) {
-    std::cout << std::left << std::setw(8) << core::to_string(r.config.mac) << std::right
-              << std::setw(10) << r.config.platoon_size << std::fixed << std::setprecision(4)
-              << std::setw(14) << r.p1_delay_summary().mean() << std::setw(16)
-              << r.p1_initial_packet_delay_s << std::setw(16) << r.p1_throughput_ci.mean
-              << std::setw(14) << r.phy_collisions << '\n';
+    os << std::left << std::setw(8) << core::to_string(r.config.mac) << std::right
+       << std::setw(10) << r.config.platoon_size << std::fixed << std::setprecision(4)
+       << std::setw(14) << r.p1_delay_summary().mean() << std::setw(16)
+       << r.p1_initial_packet_delay_s << std::setw(16) << r.p1_throughput_ci.mean
+       << std::setw(14) << r.phy_collisions << '\n';
   }
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_platoon_size", runs);
   return 0;
 }

@@ -9,44 +9,47 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/scenario.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 #include "queue/red.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::TrialSpec> specs;
   for (const double window : {5.0, 60.0}) {
     for (const bool red : {false, true}) {
-      core::ScenarioConfig cfg = core::trial1_config();
-      cfg.ebl.tcp.max_window = window;
-      cfg.ebl.tcp.initial_ssthresh = window;
-      cfg.duration = sim::Time::seconds(std::int64_t{42});
-      if (red) {
-        cfg.ifq_capacity = 50;
-        cfg.use_red_queue = true;
-      }
+      core::ScenarioConfig cfg = core::ScenarioBuilder::trial1()
+                                     .duration(sim::Time::seconds(std::int64_t{42}))
+                                     .red_queue(red)
+                                     .mutate([&](core::ScenarioConfig& c) {
+                                       c.ebl.tcp.max_window = window;
+                                       c.ebl.tcp.initial_ssthresh = window;
+                                       if (red) c.ifq_capacity = 50;
+                                       opts.apply(c);
+                                     })
+                                     .build();
       specs.push_back({cfg, red ? "RED" : "drop-tail"});
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
 
-  core::report::print_header(std::cout,
-                             "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
-  std::cout << std::left << std::setw(12) << "queue" << std::setw(10) << "window" << std::right
-            << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)"
-            << std::setw(12) << "ifq drops" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
+  os << std::left << std::setw(12) << "queue" << std::setw(10) << "window" << std::right
+     << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)" << std::setw(12)
+     << "ifq drops" << '\n';
 
   for (const core::TrialResult& r : runs) {
-    std::cout << std::left << std::setw(12) << r.name << std::setw(10)
-              << r.config.ebl.tcp.max_window << std::right << std::fixed << std::setprecision(4)
-              << std::setw(14) << r.p1_delay_summary().mean() << std::setw(14)
-              << r.p1_throughput_ci.mean << std::setw(12) << r.ifq_drops << '\n';
+    os << std::left << std::setw(12) << r.name << std::setw(10) << r.config.ebl.tcp.max_window
+       << std::right << std::fixed << std::setprecision(4) << std::setw(14)
+       << r.p1_delay_summary().mean() << std::setw(14) << r.p1_throughput_ci.mean
+       << std::setw(12) << r.ifq_drops << '\n';
   }
-  std::cout << "\nwith the calibrated 5-packet window the buffer never fills and the\n"
+  os << "\nwith the calibrated 5-packet window the buffer never fills and the\n"
                "disciplines coincide exactly. At window 60 both saturate: under TDMA\n"
                "the service rate is so low that RED's average-queue signal saturates\n"
                "too, and early drops only shave throughput — an honest negative\n"

@@ -11,49 +11,57 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
 namespace {
 
-void print_row(const core::TrialResult& r) {
-  std::cout << std::left << std::setw(10) << core::to_string(r.config.mac) << std::setw(10)
-            << core::to_string(r.config.routing) << std::right << std::fixed
-            << std::setprecision(4) << std::setw(16) << r.p1_initial_packet_delay_s
-            << std::setw(16) << r.p1_delay_summary().mean() << std::setw(14)
-            << r.p1_throughput_ci.mean << '\n';
+void print_row(std::ostream& os, const core::TrialResult& r) {
+  os << std::left << std::setw(10) << core::to_string(r.config.mac) << std::setw(10)
+     << core::to_string(r.config.routing) << std::right << std::fixed << std::setprecision(4)
+     << std::setw(16) << r.p1_initial_packet_delay_s << std::setw(16)
+     << r.p1_delay_summary().mean() << std::setw(14) << r.p1_throughput_ci.mean << '\n';
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const core::RoutingType routing :
          {core::RoutingType::kAodv, core::RoutingType::kDsdv, core::RoutingType::kStatic}) {
-      core::ScenarioConfig cfg = core::make_trial_config(1000, mac);
-      cfg.routing = routing;
-      if (routing == core::RoutingType::kDsdv) {
-        cfg.dsdv.periodic_update_interval = sim::Time::seconds(std::int64_t{1});
-      }
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      configs.push_back(cfg);
+      configs.push_back(core::ScenarioBuilder::trial(1000, mac)
+                            .routing(routing)
+                            .duration(sim::Time::seconds(std::int64_t{32}))
+                            .mutate([&](core::ScenarioConfig& c) {
+                              if (routing == core::RoutingType::kDsdv) {
+                                c.dsdv.periodic_update_interval =
+                                    sim::Time::seconds(std::int64_t{1});
+                              }
+                              opts.apply(c);
+                            })
+                            .build());
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(
-      std::cout, "Ablation — routing agent (initial-packet delay decomposition)");
-  std::cout << std::left << std::setw(10) << "MAC" << std::setw(10) << "routing" << std::right
-            << std::setw(16) << "init delay(s)" << std::setw(16) << "avg delay(s)"
-            << std::setw(14) << "tput (Mbps)" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — routing agent (initial-packet delay decomposition)");
+  os << std::left << std::setw(10) << "MAC" << std::setw(10) << "routing" << std::right
+     << std::setw(16) << "init delay(s)" << std::setw(16) << "avg delay(s)" << std::setw(14)
+     << "tput (Mbps)" << '\n';
 
-  for (const core::TrialResult& r : runs) print_row(r);
-  std::cout << "\nthe AODV-minus-static gap in the init-delay column is route discovery's "
-               "contribution to the first brake notification; DSDV trades it for "
-               "standing control overhead.\n";
+  for (const core::TrialResult& r : runs) print_row(os, r);
+  os << "\nthe AODV-minus-static gap in the init-delay column is route discovery's "
+        "contribution to the first brake notification; DSDV trades it for "
+        "standing control overhead.\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_routing", runs);
   return 0;
 }

@@ -8,37 +8,46 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const std::size_t threshold : {std::size_t{0}, std::size_t{SIZE_MAX}}) {
-    core::ScenarioConfig cfg = core::trial3_config();
-    cfg.mac80211.rts_threshold = threshold;
-    cfg.duration = sim::Time::seconds(std::int64_t{32});
-    configs.push_back(cfg);
+    configs.push_back(core::ScenarioBuilder::trial3()
+                          .duration(sim::Time::seconds(std::int64_t{32}))
+                          .mutate([&](core::ScenarioConfig& c) {
+                            c.mac80211.rts_threshold = threshold;
+                            opts.apply(c);
+                          })
+                          .build());
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — RTS/CTS (trial 3 setup)");
-  std::cout << std::left << std::setw(14) << "rts_thresh" << std::right << std::setw(14)
-            << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(14)
-            << "tput (Mbps)" << std::setw(16) << "collisions" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — RTS/CTS (trial 3 setup)");
+  os << std::left << std::setw(14) << "rts_thresh" << std::right << std::setw(14)
+     << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(14) << "tput (Mbps)"
+     << std::setw(16) << "collisions" << '\n';
 
   for (const core::TrialResult& r : runs) {
     const auto d = r.p1_delay_summary();
-    std::cout << std::left << std::setw(14)
-              << (r.config.mac80211.rts_threshold == 0 ? "0 (always)" : "off") << std::right
-              << std::fixed << std::setprecision(4) << std::setw(14) << d.mean() << std::setw(14)
-              << d.max() << std::setw(14) << r.p1_throughput_ci.mean << std::setw(16)
-              << r.phy_collisions << '\n';
+    os << std::left << std::setw(14)
+       << (r.config.mac80211.rts_threshold == 0 ? "0 (always)" : "off") << std::right
+       << std::fixed << std::setprecision(4) << std::setw(14) << d.mean() << std::setw(14)
+       << d.max() << std::setw(14) << r.p1_throughput_ci.mean << std::setw(16)
+       << r.phy_collisions << '\n';
   }
-  std::cout << "\nexpectation: with every node in carrier-sense range, RTS/CTS adds "
-               "per-packet overhead (higher delay, lower throughput) without reducing "
-               "collisions meaningfully.\n";
+  os << "\nexpectation: with every node in carrier-sense range, RTS/CTS adds "
+        "per-packet overhead (higher delay, lower throughput) without reducing "
+        "collisions meaningfully.\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_rtscts", runs);
   return 0;
 }

@@ -8,27 +8,33 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const double window : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0}) {
-    core::ScenarioConfig cfg = core::trial1_config();
-    cfg.ebl.tcp.max_window = window;
-    cfg.ebl.tcp.initial_ssthresh = window;
-    cfg.duration = sim::Time::seconds(std::int64_t{42});
-    configs.push_back(cfg);
+    configs.push_back(core::ScenarioBuilder::trial1()
+                          .duration(sim::Time::seconds(std::int64_t{42}))
+                          .mutate([&](core::ScenarioConfig& c) {
+                            c.ebl.tcp.max_window = window;
+                            c.ebl.tcp.initial_ssthresh = window;
+                            opts.apply(c);
+                          })
+                          .build());
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — TCP max window sweep (trial 1 setup)");
-  std::cout << std::left << std::setw(10) << "window" << std::right << std::setw(16)
-            << "steady delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14)
-            << "tput (Mbps)" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — TCP max window sweep (trial 1 setup)");
+  os << std::left << std::setw(10) << "window" << std::right << std::setw(16)
+     << "steady delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)"
+     << '\n';
 
   for (const core::TrialResult& r : runs) {
     const std::vector<trace::DelaySample>& middle = r.p1_middle;
@@ -38,12 +44,14 @@ int main() {
       if (d.seq >= 30) steady.add(d.delay_seconds());
     }
     const auto tput = r.p1_throughput.summarize(r.config.platoon1_brake_at, r.config.duration);
-    std::cout << std::left << std::setw(10) << r.config.ebl.tcp.max_window << std::right
-              << std::fixed << std::setprecision(4) << std::setw(16)
-              << (steady.empty() ? 0.0 : steady.mean()) << std::setw(14) << all.mean()
-              << std::setw(14) << tput.mean() << '\n';
+    os << std::left << std::setw(10) << r.config.ebl.tcp.max_window << std::right << std::fixed
+       << std::setprecision(4) << std::setw(16) << (steady.empty() ? 0.0 : steady.mean())
+       << std::setw(14) << all.mean() << std::setw(14) << tput.mean() << '\n';
   }
-  std::cout << "\nexpectation: steady delay ~ linear in window while throughput is flat "
-               "(the MAC, not the window, is the bottleneck).\n";
+  os << "\nexpectation: steady delay ~ linear in window while throughput is flat "
+        "(the MAC, not the window, is the bottleneck).\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_tcp_window", runs);
   return 0;
 }

@@ -11,40 +11,48 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/safety.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const std::size_t slots : {6, 8, 16, 32, 64, 128}) {
-    core::ScenarioConfig cfg = core::trial1_config();
-    cfg.tdma.num_slots = slots;
-    cfg.duration = sim::Time::seconds(std::int64_t{42});
+    core::ScenarioConfig cfg = core::ScenarioBuilder::trial1()
+                                   .duration(sim::Time::seconds(std::int64_t{42}))
+                                   .mutate([&](core::ScenarioConfig& c) {
+                                     c.tdma.num_slots = slots;
+                                     opts.apply(c);
+                                   })
+                                   .build();
     configs.push_back(cfg);
   }
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(configs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
-  core::report::print_header(std::cout, "Ablation — TDMA slots-per-frame sweep (trial 1 setup)");
-  std::cout << std::left << std::setw(8) << "slots" << std::right << std::setw(14)
-            << "frame (ms)" << std::setw(14) << "avg delay(s)" << std::setw(16)
-            << "init delay(s)" << std::setw(14) << "tput (Mbps)" << std::setw(16)
-            << "% headway" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "Ablation — TDMA slots-per-frame sweep (trial 1 setup)");
+  os << std::left << std::setw(8) << "slots" << std::right << std::setw(14) << "frame (ms)"
+     << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(14)
+     << "tput (Mbps)" << std::setw(16) << "% headway" << '\n';
 
   for (const core::TrialResult& r : runs) {
     const core::ScenarioConfig& cfg = r.config;
     core::StoppingAssessment a{cfg.speed_mps, cfg.vehicle_gap_m, r.p1_initial_packet_delay_s};
-    std::cout << std::left << std::setw(8) << cfg.tdma.num_slots << std::right << std::fixed
-              << std::setprecision(2) << std::setw(14)
-              << cfg.tdma.slot_duration().to_seconds() * 1e3 *
-                     static_cast<double>(cfg.tdma.num_slots)
-              << std::setprecision(4) << std::setw(14) << r.p1_delay_summary().mean()
-              << std::setw(16) << r.p1_initial_packet_delay_s << std::setw(14)
-              << r.p1_throughput_ci.mean << std::setprecision(1) << std::setw(15)
-              << a.fraction_of_headway() * 100.0 << '%' << '\n';
+    os << std::left << std::setw(8) << cfg.tdma.num_slots << std::right << std::fixed
+       << std::setprecision(2) << std::setw(14)
+       << cfg.tdma.slot_duration().to_seconds() * 1e3 * static_cast<double>(cfg.tdma.num_slots)
+       << std::setprecision(4) << std::setw(14) << r.p1_delay_summary().mean() << std::setw(16)
+       << r.p1_initial_packet_delay_s << std::setw(14) << r.p1_throughput_ci.mean
+       << std::setprecision(1) << std::setw(15) << a.fraction_of_headway() * 100.0 << '%'
+       << '\n';
   }
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "ablation_tdma_slots", runs);
   return 0;
 }

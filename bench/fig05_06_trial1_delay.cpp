@@ -6,22 +6,28 @@
 
 #include <iostream>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
-  const core::TrialResult r = core::run_trial(core::trial1_config(), "Trial 1");
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const core::TrialResult r = core::ScenarioBuilder::trial1()
+                                  .mutate([&](core::ScenarioConfig& c) { opts.apply(c); })
+                                  .run("Trial 1");
 
+  const core::report::ReportContext ctx{opts.out(), 6, "s"};
   core::report::print_delay_series(
-      std::cout, "Fig. 5 — Trial 1 one-way delay, platoon 1, middle vehicle", r.p1_middle);
+      ctx, "Fig. 5 — Trial 1 one-way delay, platoon 1, middle vehicle", r.p1_middle);
   core::report::print_delay_series(
-      std::cout, "Fig. 5 — Trial 1 one-way delay, platoon 1, trailing vehicle", r.p1_trailing);
+      ctx, "Fig. 5 — Trial 1 one-way delay, platoon 1, trailing vehicle", r.p1_trailing);
   core::report::print_delay_series(
-      std::cout, "Fig. 6 — Trial 1 transient-state one-way delay (first 50 packets)",
-      r.p1_middle, 50);
-  std::cout << "\nsteady-state one-way delay (packets >= 50): " << r.p1_steady_state_delay_s()
-            << " s\n";
+      ctx, "Fig. 6 — Trial 1 transient-state one-way delay (first 50 packets)", r.p1_middle, 50);
+  ctx.os << "\nsteady-state one-way delay (packets >= 50): " << r.p1_steady_state_delay_s()
+         << " s\n";
+
+  if (opts.want_json()) core::report::write_json_file(opts.json_path, r);
   return 0;
 }

@@ -5,29 +5,36 @@
 
 #include <iostream>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
-  const core::TrialResult r = core::run_trial(core::trial3_config(), "Trial 3");
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const core::TrialResult r = core::ScenarioBuilder::trial3()
+                                  .mutate([&](core::ScenarioConfig& c) { opts.apply(c); })
+                                  .run("Trial 3");
 
+  const core::report::ReportContext ctx{opts.out(), 6, "s"};
   core::report::print_delay_series(
-      std::cout, "Fig. 11 — Trial 3 one-way delay, platoon 1, middle vehicle", r.p1_middle);
+      ctx, "Fig. 11 — Trial 3 one-way delay, platoon 1, middle vehicle", r.p1_middle);
   core::report::print_delay_series(
-      std::cout, "Fig. 11 — Trial 3 one-way delay, platoon 1, trailing vehicle", r.p1_trailing);
+      ctx, "Fig. 11 — Trial 3 one-way delay, platoon 1, trailing vehicle", r.p1_trailing);
   core::report::print_delay_series(
-      std::cout, "Fig. 12 — Trial 3 transient-state delay, platoon 1 (first 25 packets)",
-      r.p1_middle, 25);
+      ctx, "Fig. 12 — Trial 3 transient-state delay, platoon 1 (first 25 packets)", r.p1_middle,
+      25);
   core::report::print_delay_series(
-      std::cout, "Fig. 13 — Trial 3 one-way delay, platoon 2, middle vehicle", r.p2_middle);
+      ctx, "Fig. 13 — Trial 3 one-way delay, platoon 2, middle vehicle", r.p2_middle);
   core::report::print_delay_series(
-      std::cout, "Fig. 13 — Trial 3 one-way delay, platoon 2, trailing vehicle", r.p2_trailing);
+      ctx, "Fig. 13 — Trial 3 one-way delay, platoon 2, trailing vehicle", r.p2_trailing);
   core::report::print_delay_series(
-      std::cout, "Fig. 14 — Trial 3 transient-state delay, platoon 2 (first 25 packets)",
-      r.p2_middle, 25);
-  std::cout << "\nplatoon 1 steady-state one-way delay (packets >= 50): "
-            << r.p1_steady_state_delay_s() << " s\n";
+      ctx, "Fig. 14 — Trial 3 transient-state delay, platoon 2 (first 25 packets)", r.p2_middle,
+      25);
+  ctx.os << "\nplatoon 1 steady-state one-way delay (packets >= 50): "
+         << r.p1_steady_state_delay_s() << " s\n";
+
+  if (opts.want_json()) core::report::write_json_file(opts.json_path, r);
   return 0;
 }

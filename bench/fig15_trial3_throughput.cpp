@@ -4,17 +4,24 @@
 
 #include <iostream>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
-  const core::TrialResult r = core::run_trial(core::trial3_config(), "Trial 3");
-  core::report::print_throughput_series(std::cout, "Fig. 15 — Trial 3 throughput, platoon 1",
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const core::TrialResult r = core::ScenarioBuilder::trial3()
+                                  .mutate([&](core::ScenarioConfig& c) { opts.apply(c); })
+                                  .run("Trial 3");
+
+  const core::report::ReportContext ctx{opts.out(), 4, "Mbps"};
+  core::report::print_throughput_series(ctx, "Fig. 15 — Trial 3 throughput, platoon 1",
                                         r.p1_throughput);
-  core::report::print_summary_row(std::cout, "platoon 1 throughput", r.p1_throughput_summary(),
-                                  "Mbps");
-  core::report::print_confidence(std::cout, "confidence analysis", r.p1_throughput_ci, "Mbps");
+  core::report::print_summary_row(ctx, "platoon 1 throughput", r.p1_throughput_summary());
+  core::report::print_confidence(ctx, "confidence analysis", r.p1_throughput_ci);
+
+  if (opts.want_json()) core::report::write_json_file(opts.json_path, r);
   return 0;
 }

@@ -1,0 +1,80 @@
+#include "bench/options.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace eblnet::bench {
+
+namespace {
+
+/// Discards everything written to it (the --quiet sink).
+class NullBuffer final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+NullBuffer null_buffer;
+std::ostream null_stream{&null_buffer};
+
+[[noreturn]] void usage(const std::string& program, int status) {
+  (status == 0 ? std::cout : std::cerr)
+      << "usage: " << program << " [options] [args]\n"
+      << "  --json <path>   write a JSON run manifest (enables metrics collection)\n"
+      << "  --seed <n>      override the scenario seed(s)\n"
+      << "  --jobs <n>      worker threads for sweeps (0 = auto)\n"
+      << "  --quiet         suppress the text report\n"
+      << "  --help          this message\n";
+  std::exit(status);
+}
+
+std::uint64_t parse_u64(const std::string& program, std::string_view flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << program << ": " << flag << " expects a non-negative integer, got '" << text
+              << "'\n";
+    usage(program, 2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  opt.program = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&](std::string_view flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << opt.program << ": " << flag << " requires an argument\n";
+        usage(opt.program, 2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = next(arg);
+    } else if (arg == "--seed") {
+      opt.seed = parse_u64(opt.program, arg, next(arg));
+      opt.seed_set = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(parse_u64(opt.program, arg, next(arg)));
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(opt.program, 0);
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::cerr << opt.program << ": unknown flag " << arg << '\n';
+      usage(opt.program, 2);
+    } else {
+      opt.positional.emplace_back(arg);
+    }
+  }
+  return opt;
+}
+
+std::ostream& Options::out() const { return quiet ? null_stream : std::cout; }
+
+}  // namespace eblnet::bench

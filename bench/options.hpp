@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace eblnet::bench {
+
+/// Command-line options shared by every scenario bench:
+///
+///   --json <path>   write a versioned JSON run manifest (enables metrics)
+///   --seed <n>      override the scenario seed(s)
+///   --jobs <n>      worker threads for sweep benches (0 = auto)
+///   --quiet         suppress the text report (JSON still written)
+///   --help          usage
+///
+/// With no flags a bench behaves exactly as it always has: text to
+/// stdout, no JSON, default seeds and job count.
+struct Options {
+  std::string program;    ///< argv[0], for usage messages
+  std::string json_path;  ///< empty = no manifest requested
+  std::uint64_t seed{0};
+  bool seed_set{false};
+  unsigned jobs{0};  ///< 0 = EBLNET_JOBS / hardware_concurrency
+  bool quiet{false};
+  std::vector<std::string> positional;  ///< non-flag arguments, in order
+
+  /// Parse argv. Prints usage and exits on --help (status 0) or on a
+  /// malformed/unknown flag (status 2); positional arguments are
+  /// collected for benches that keep a legacy positional interface.
+  static Options parse(int argc, char** argv);
+
+  bool want_json() const noexcept { return !json_path.empty(); }
+
+  /// std::cout, or a sink stream under --quiet.
+  std::ostream& out() const;
+
+  /// Fold the flags into a scenario config: seed override, and metrics
+  /// collection whenever a JSON manifest was requested.
+  void apply(core::ScenarioConfig& cfg) const {
+    if (seed_set) cfg.seed = seed;
+    if (want_json()) cfg.enable_metrics = true;
+  }
+};
+
+}  // namespace eblnet::bench

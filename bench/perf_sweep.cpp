@@ -4,7 +4,12 @@
 // job count, then writes events/sec, per-trial wall time, and the
 // parallel speedup to BENCH_sweep.json.
 //
-// Usage: perf_sweep [output.json]   (default: BENCH_sweep.json)
+// Usage: perf_sweep [--json output.json] [output.json]
+//        (default: BENCH_sweep.json)
+//
+// Metrics stay DISABLED here on purpose: this harness measures the
+// engine's hot path, and the disabled-metrics branch is the one the
+// perf acceptance criterion covers.
 //
 // Wall-clock numbers are only meaningful in a Release build; use
 // scripts/bench.sh, which configures -O2 -DNDEBUG before timing.
@@ -18,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/options.hpp"
+#include "core/json_writer.hpp"
+#include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
@@ -37,17 +45,20 @@ struct SweepTiming {
   }
 };
 
+// --seed is ignored here: the sweep IS the seed variation.
 std::vector<core::TrialSpec> confidence_specs() {
   std::vector<core::TrialSpec> specs;
   int trial = 0;
-  for (const core::ScenarioConfig& base :
-       {core::trial1_config(), core::trial2_config(), core::trial3_config()}) {
+  for (const core::ScenarioBuilder& base :
+       {core::ScenarioBuilder::trial1(), core::ScenarioBuilder::trial2(),
+        core::ScenarioBuilder::trial3()}) {
     ++trial;
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      core::ScenarioConfig cfg = base;
-      cfg.seed = seed;
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      specs.push_back({cfg, "trial " + std::to_string(trial)});
+      specs.push_back({core::ScenarioBuilder{base}
+                           .seed(seed)
+                           .duration(sim::Time::seconds(std::int64_t{32}))
+                           .build(),
+                       "trial " + std::to_string(trial)});
     }
   }
   return specs;
@@ -71,68 +82,77 @@ SweepTiming time_sweep(unsigned jobs) {
   return t;
 }
 
-void print_row(const char* label, const SweepTiming& t) {
-  std::cout << std::left << std::setw(10) << label << std::right << std::setw(6) << t.jobs
-            << std::fixed << std::setprecision(3) << std::setw(12) << t.wall_s
-            << std::setprecision(1) << std::setw(14) << t.per_trial_ms() << std::setprecision(0)
-            << std::setw(14) << t.events_per_sec() << '\n';
+void print_row(std::ostream& os, const char* label, const SweepTiming& t) {
+  os << std::left << std::setw(10) << label << std::right << std::setw(6) << t.jobs
+     << std::fixed << std::setprecision(3) << std::setw(12) << t.wall_s << std::setprecision(1)
+     << std::setw(14) << t.per_trial_ms() << std::setprecision(0) << std::setw(14)
+     << t.events_per_sec() << '\n';
+}
+
+void write_timing(core::JsonWriter& w, const SweepTiming& t) {
+  w.begin_object();
+  w.field("jobs", std::uint64_t{t.jobs});
+  w.field("wall_s", t.wall_s);
+  w.field("per_trial_ms", t.per_trial_ms());
+  w.field("events", t.events);
+  w.field("events_per_sec", t.events_per_sec());
+  w.end_object();
 }
 
 bool write_json(const std::string& path, const SweepTiming& serial, const SweepTiming& parallel,
                 double speedup) {
   std::ofstream out{path};
   if (!out) return false;
-  out << std::fixed << std::setprecision(6);
-  out << "{\n"
-      << "  \"sweep\": \"confidence_seeds (3 trials x 10 seeds, 32 s)\",\n"
-      << "  \"trials\": " << serial.trials << ",\n"
-      << "  \"serial\": {\n"
-      << "    \"jobs\": " << serial.jobs << ",\n"
-      << "    \"wall_s\": " << serial.wall_s << ",\n"
-      << "    \"per_trial_ms\": " << serial.per_trial_ms() << ",\n"
-      << "    \"events\": " << serial.events << ",\n"
-      << "    \"events_per_sec\": " << serial.events_per_sec() << "\n"
-      << "  },\n"
-      << "  \"parallel\": {\n"
-      << "    \"jobs\": " << parallel.jobs << ",\n"
-      << "    \"wall_s\": " << parallel.wall_s << ",\n"
-      << "    \"per_trial_ms\": " << parallel.per_trial_ms() << ",\n"
-      << "    \"events\": " << parallel.events << ",\n"
-      << "    \"events_per_sec\": " << parallel.events_per_sec() << "\n"
-      << "  },\n"
-      << "  \"speedup\": " << speedup << "\n"
-      << "}\n";
+  core::JsonWriter w{out};
+  w.begin_object();
+  w.field("schema_version", std::uint64_t{core::report::kManifestSchemaVersion});
+  w.field("kind", "eblnet.perf");
+  w.field("sweep", "confidence_seeds (3 trials x 10 seeds, 32 s)");
+  w.field("trials", std::uint64_t{serial.trials});
+  w.key("serial");
+  write_timing(w, serial);
+  w.key("parallel");
+  write_timing(w, parallel);
+  w.field("speedup", speedup);
+  w.end_object();
+  out << '\n';
   return out.good();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  // The legacy positional output path is still honoured; --json wins.
+  const std::string out_path = opts.want_json()        ? opts.json_path
+                               : !opts.positional.empty() ? opts.positional.front()
+                                                          : "BENCH_sweep.json";
 
-  std::cout << "perf_sweep: 30-trial confidence sweep, serial vs parallel\n\n";
-  std::cout << std::left << std::setw(10) << "mode" << std::right << std::setw(6) << "jobs"
-            << std::setw(12) << "wall (s)" << std::setw(14) << "trial (ms)" << std::setw(14)
-            << "events/s" << '\n';
+  std::ostream& os = opts.out();
+  os << "perf_sweep: 30-trial confidence sweep, serial vs parallel\n\n";
+  os << std::left << std::setw(10) << "mode" << std::right << std::setw(6) << "jobs"
+     << std::setw(12) << "wall (s)" << std::setw(14) << "trial (ms)" << std::setw(14)
+     << "events/s" << '\n';
 
   const SweepTiming serial = time_sweep(1);
-  print_row("serial", serial);
+  print_row(os, "serial", serial);
 
-  const SweepTiming parallel = time_sweep(0);  // EBLNET_JOBS / hardware_concurrency
-  print_row("parallel", parallel);
+  // --jobs overrides the parallel leg; 0 = EBLNET_JOBS / hardware_concurrency
+  const SweepTiming parallel = time_sweep(opts.jobs);
+  print_row(os, "parallel", parallel);
 
   const double speedup = parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0;
   if (serial.events != parallel.events) {
     std::cerr << "warning: serial and parallel sweeps executed different event counts ("
               << serial.events << " vs " << parallel.events << ") — determinism bug?\n";
   }
-  std::cout << "\nspeedup: " << std::fixed << std::setprecision(2) << speedup << "x at "
-            << parallel.jobs << " job(s)\n";
+  os << "\nspeedup: " << std::fixed << std::setprecision(2) << speedup << "x at "
+     << parallel.jobs << " job(s)\n";
 
   if (!write_json(out_path, serial, parallel, speedup)) {
     std::cerr << "error: could not write " << out_path << '\n';
     return 1;
   }
-  std::cout << "wrote " << out_path << '\n';
+  os << "wrote " << out_path << '\n';
   return 0;
 }

@@ -9,32 +9,38 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
-  const std::vector<core::TrialSpec> specs{{core::trial1_config(), "Trial 1"},
-                                           {core::trial2_config(), "Trial 2"},
-                                           {core::trial3_config(), "Trial 3"}};
-  const std::vector<core::TrialResult> runs = core::Runner{}.run_trials(specs);
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const auto spec = [&](core::ScenarioBuilder b, const char* name) {
+    return core::TrialSpec{b.mutate([&](core::ScenarioConfig& c) { opts.apply(c); }).build(),
+                           name};
+  };
+  const std::vector<core::TrialSpec> specs{spec(core::ScenarioBuilder::trial1(), "Trial 1"),
+                                           spec(core::ScenarioBuilder::trial2(), "Trial 2"),
+                                           spec(core::ScenarioBuilder::trial3(), "Trial 3")};
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
   const core::TrialResult& t1 = runs[0];
   const core::TrialResult& t2 = runs[1];
   const core::TrialResult& t3 = runs[2];
 
-  core::report::print_header(std::cout, "§III.E — comparison of trials (platoon 1)");
-  std::cout << std::left << std::setw(34) << "metric" << std::right << std::setw(14)
-            << "trial 1" << std::setw(14) << "trial 2" << std::setw(14) << "trial 3" << '\n'
-            << std::left << std::setw(34) << "packet size / MAC" << std::right << std::setw(14)
-            << "1000B TDMA" << std::setw(14) << "500B TDMA" << std::setw(14) << "1000B 802.11"
-            << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "§III.E — comparison of trials (platoon 1)");
+  os << std::left << std::setw(34) << "metric" << std::right << std::setw(14) << "trial 1"
+     << std::setw(14) << "trial 2" << std::setw(14) << "trial 3" << '\n'
+     << std::left << std::setw(34) << "packet size / MAC" << std::right << std::setw(14)
+     << "1000B TDMA" << std::setw(14) << "500B TDMA" << std::setw(14) << "1000B 802.11" << '\n';
 
   const auto row = [&](const char* name, double a, double b, double c, int prec) {
-    std::cout << std::left << std::setw(34) << name << std::right << std::fixed
-              << std::setprecision(prec) << std::setw(14) << a << std::setw(14) << b
-              << std::setw(14) << c << '\n';
+    os << std::left << std::setw(34) << name << std::right << std::fixed
+       << std::setprecision(prec) << std::setw(14) << a << std::setw(14) << b << std::setw(14)
+       << c << '\n';
   };
   row("avg one-way delay (s)", t1.p1_delay_summary().mean(), t2.p1_delay_summary().mean(),
       t3.p1_delay_summary().mean(), 4);
@@ -47,18 +53,21 @@ int main() {
   row("avg throughput (Mbps)", t1.p1_throughput_ci.mean, t2.p1_throughput_ci.mean,
       t3.p1_throughput_ci.mean, 4);
 
-  std::cout << "\nheadline ratios:\n" << std::setprecision(2);
-  std::cout << "  delay(trial1)/delay(trial2)       = "
-            << t1.p1_delay_summary().mean() / t2.p1_delay_summary().mean()
-            << "   (paper: ~1.0 — size does not drive delay)\n";
-  std::cout << "  throughput(trial1)/throughput(2)  = "
-            << t1.p1_throughput_ci.mean / t2.p1_throughput_ci.mean
-            << "   (paper: ~2.0 — TDMA serves fixed packet rate)\n";
-  std::cout << "  delay(trial1)/delay(trial3)       = "
-            << t1.p1_delay_summary().mean() / t3.p1_delay_summary().mean()
-            << "   (paper: >>1 — TDMA slot waiting dominates)\n";
-  std::cout << "  throughput(trial3)/throughput(1)  = "
-            << t3.p1_throughput_ci.mean / t1.p1_throughput_ci.mean
-            << "   (paper: >1 — 802.11 sends with greater frequency)\n";
+  os << "\nheadline ratios:\n" << std::setprecision(2);
+  os << "  delay(trial1)/delay(trial2)       = "
+     << t1.p1_delay_summary().mean() / t2.p1_delay_summary().mean()
+     << "   (paper: ~1.0 — size does not drive delay)\n";
+  os << "  throughput(trial1)/throughput(2)  = "
+     << t1.p1_throughput_ci.mean / t2.p1_throughput_ci.mean
+     << "   (paper: ~2.0 — TDMA serves fixed packet rate)\n";
+  os << "  delay(trial1)/delay(trial3)       = "
+     << t1.p1_delay_summary().mean() / t3.p1_delay_summary().mean()
+     << "   (paper: >>1 — TDMA slot waiting dominates)\n";
+  os << "  throughput(trial3)/throughput(1)  = "
+     << t3.p1_throughput_ci.mean / t1.p1_throughput_ci.mean
+     << "   (paper: >1 — 802.11 sends with greater frequency)\n";
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "table_comparison", runs);
   return 0;
 }

@@ -8,59 +8,68 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
 #include "core/safety.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
-int main() {
-  const core::TrialResult t1 = core::run_trial(core::trial1_config(), "Trial 1");
-  const core::TrialResult t2 = core::run_trial(core::trial2_config(), "Trial 2");
-  const core::TrialResult t3 = core::run_trial(core::trial3_config(), "Trial 3");
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const auto run = [&](core::ScenarioBuilder b, const char* name) {
+    return b.mutate([&](core::ScenarioConfig& c) { opts.apply(c); }).run(name);
+  };
+  const core::TrialResult t1 = run(core::ScenarioBuilder::trial1(), "Trial 1");
+  const core::TrialResult t2 = run(core::ScenarioBuilder::trial2(), "Trial 2");
+  const core::TrialResult t3 = run(core::ScenarioBuilder::trial3(), "Trial 3");
 
-  core::report::print_header(std::cout, "§III.E — stopping-distance analysis");
-  std::cout << "speed = " << t1.config.speed_mps << " m/s (50 mph), separation = "
-            << t1.config.vehicle_gap_m << " m\n\n";
-  std::cout << std::left << std::setw(10) << "trial" << std::right << std::setw(16)
-            << "init delay (s)" << std::setw(16) << "dist (m)" << std::setw(18)
-            << "% of separation" << std::setw(14) << "verdict" << '\n';
+  std::ostream& os = opts.out();
+  core::report::print_header(os, "§III.E — stopping-distance analysis");
+  os << "speed = " << t1.config.speed_mps << " m/s (50 mph), separation = "
+     << t1.config.vehicle_gap_m << " m\n\n";
+  os << std::left << std::setw(10) << "trial" << std::right << std::setw(16) << "init delay (s)"
+     << std::setw(16) << "dist (m)" << std::setw(18) << "% of separation" << std::setw(14)
+     << "verdict" << '\n';
 
   for (const auto* r : {&t1, &t2, &t3}) {
     core::StoppingAssessment a;
     a.speed_mps = r->config.speed_mps;
     a.headway_m = r->config.vehicle_gap_m;
     a.notification_delay_s = r->p1_initial_packet_delay_s;
-    std::cout << std::left << std::setw(10) << r->name << std::right << std::fixed
-              << std::setprecision(4) << std::setw(16) << a.notification_delay_s
-              << std::setprecision(2) << std::setw(16) << a.distance_during_notification()
-              << std::setprecision(1) << std::setw(17) << a.fraction_of_headway() * 100.0 << '%'
-              << std::setw(14) << (a.fraction_of_headway() >= 1.0 ? "gap consumed" : "in time")
-              << '\n';
+    os << std::left << std::setw(10) << r->name << std::right << std::fixed
+       << std::setprecision(4) << std::setw(16) << a.notification_delay_s << std::setprecision(2)
+       << std::setw(16) << a.distance_during_notification() << std::setprecision(1)
+       << std::setw(17) << a.fraction_of_headway() * 100.0 << '%' << std::setw(14)
+       << (a.fraction_of_headway() >= 1.0 ? "gap consumed" : "in time") << '\n';
   }
 
-  std::cout << "\nwith driver/system reaction time included (same-deceleration stop):\n";
-  std::cout << std::left << std::setw(10) << "trial" << std::right << std::setw(16)
-            << "reaction (s)" << std::setw(18) << "closing dist (m)" << std::setw(14)
-            << "margin (m)" << std::setw(14) << "collision?" << '\n';
+  os << "\nwith driver/system reaction time included (same-deceleration stop):\n";
+  os << std::left << std::setw(10) << "trial" << std::right << std::setw(16) << "reaction (s)"
+     << std::setw(18) << "closing dist (m)" << std::setw(14) << "margin (m)" << std::setw(14)
+     << "collision?" << '\n';
   for (const auto* r : {&t1, &t3}) {
     for (const double reaction : {0.0, 0.1}) {
       core::StoppingAssessment a;
       a.speed_mps = r->config.speed_mps;
       a.headway_m = r->config.vehicle_gap_m;
       a.notification_delay_s = r->p1_initial_packet_delay_s;
-      std::cout << std::left << std::setw(10) << r->name << std::right << std::fixed
-                << std::setprecision(2) << std::setw(16) << reaction << std::setw(18)
-                << a.closing_distance(reaction) << std::setw(14) << a.margin(reaction)
-                << std::setw(14) << (a.collision_avoided(reaction) ? "avoided" : "IMPACT")
-                << '\n';
+      os << std::left << std::setw(10) << r->name << std::right << std::fixed
+         << std::setprecision(2) << std::setw(16) << reaction << std::setw(18)
+         << a.closing_distance(reaction) << std::setw(14) << a.margin(reaction) << std::setw(14)
+         << (a.collision_avoided(reaction) ? "avoided" : "IMPACT") << '\n';
     }
   }
-  std::cout << "\nmax tolerable network delay for a 0.1 s system reaction at this "
-               "speed/headway: "
-            << std::setprecision(4)
-            << core::StoppingAssessment{t1.config.speed_mps, t1.config.vehicle_gap_m, 0.0}
-                   .max_tolerable_delay(0.1)
-            << " s\n";
+  os << "\nmax tolerable network delay for a 0.1 s system reaction at this "
+        "speed/headway: "
+     << std::setprecision(4)
+     << core::StoppingAssessment{t1.config.speed_mps, t1.config.vehicle_gap_m, 0.0}
+            .max_tolerable_delay(0.1)
+     << " s\n";
+
+  if (opts.want_json()) {
+    const core::TrialResult all[] = {t1, t2, t3};
+    core::report::write_sweep_json_file(opts.json_path, "table_stopping_distance", all);
+  }
   return 0;
 }

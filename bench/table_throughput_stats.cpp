@@ -5,33 +5,43 @@
 
 #include <iostream>
 
+#include "bench/options.hpp"
 #include "core/report.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 using core::report::print_confidence;
 using core::report::print_header;
 using core::report::print_summary_row;
+using core::report::ReportContext;
 
 namespace {
 
-void print_trial(const core::TrialResult& r) {
-  print_header(std::cout, "Throughput statistics — " + r.name + "  (" +
-                              std::to_string(r.config.packet_bytes) + " B, " +
-                              core::to_string(r.config.mac) + ")");
-  print_summary_row(std::cout, "platoon 1 throughput", r.p1_throughput_summary(), "Mbps");
-  print_summary_row(std::cout, "platoon 2 throughput", r.p2_throughput_summary(), "Mbps");
-  print_confidence(std::cout, "platoon 1 (comm window, batch means)", r.p1_throughput_ci,
-                   "Mbps");
-  print_confidence(std::cout, "platoon 2 (comm window, batch means)", r.p2_throughput_ci,
-                   "Mbps");
+void print_trial(const ReportContext& ctx, const core::TrialResult& r) {
+  print_header(ctx, "Throughput statistics — " + r.name + "  (" +
+                        std::to_string(r.config.packet_bytes) + " B, " +
+                        core::to_string(r.config.mac) + ")");
+  print_summary_row(ctx, "platoon 1 throughput", r.p1_throughput_summary());
+  print_summary_row(ctx, "platoon 2 throughput", r.p2_throughput_summary());
+  print_confidence(ctx, "platoon 1 (comm window, batch means)", r.p1_throughput_ci);
+  print_confidence(ctx, "platoon 2 (comm window, batch means)", r.p2_throughput_ci);
 }
 
 }  // namespace
 
-int main() {
-  print_trial(core::run_trial(core::trial1_config(), "Trial 1"));
-  print_trial(core::run_trial(core::trial2_config(), "Trial 2"));
-  print_trial(core::run_trial(core::trial3_config(), "Trial 3"));
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::Options::parse(argc, argv);
+  const auto run = [&](core::ScenarioBuilder b, const char* name) {
+    return b.mutate([&](core::ScenarioConfig& c) { opts.apply(c); }).run(name);
+  };
+  const std::vector<core::TrialResult> runs{run(core::ScenarioBuilder::trial1(), "Trial 1"),
+                                            run(core::ScenarioBuilder::trial2(), "Trial 2"),
+                                            run(core::ScenarioBuilder::trial3(), "Trial 3")};
+
+  const ReportContext ctx{opts.out(), 4, "Mbps"};
+  for (const auto& r : runs) print_trial(ctx, r);
+
+  if (opts.want_json())
+    core::report::write_sweep_json_file(opts.json_path, "table_throughput_stats", runs);
   return 0;
 }

@@ -12,7 +12,7 @@
 #include <string>
 
 #include "core/safety.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 #include "trace/nam_export.hpp"
 #include "trace/trace_io.hpp"
 
@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   }
   if (argc > 2) packet_bytes = static_cast<std::size_t>(std::atoi(argv[2]));
 
-  const core::ScenarioConfig cfg = core::make_trial_config(packet_bytes, mac);
+  const core::ScenarioBuilder builder = core::ScenarioBuilder::trial(packet_bytes, mac);
+  const core::ScenarioConfig& cfg = builder.config();
   std::cout << "=== Extended Brake Lights — intersection scenario ===\n"
             << "MAC " << core::to_string(mac) << ", " << packet_bytes << "-byte packets, "
             << cfg.speed_mps << " m/s, " << cfg.vehicle_gap_m << " m headway\n\n"
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
 
   // Run the trial; on completion, export a Nam animation of the run (the
   // paper's workflow launched nam.exe on the NS-2 trace).
-  const core::TrialResult r = core::run_trial(cfg, "example", [&](core::EblScenario& s) {
+  const core::TrialResult r = builder.run("example", [&](core::EblScenario& s) {
     std::ofstream nam{"ebl_intersection.nam"};
     std::vector<const mobility::MobilityModel*> models;
     for (std::size_t i = 0; i < s.node_count(); ++i) models.push_back(s.node(i).mobility());

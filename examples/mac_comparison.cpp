@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/safety.hpp"
-#include "core/trial.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
@@ -21,10 +21,10 @@ int main() {
 
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const std::size_t bytes : {500, 1000}) {
-      core::ScenarioConfig cfg = core::make_trial_config(bytes, mac);
-      cfg.duration = sim::Time::seconds(std::int64_t{32});
-      const core::TrialResult r = core::run_trial(cfg);
-      core::StoppingAssessment a{cfg.speed_mps, cfg.vehicle_gap_m,
+      const core::TrialResult r = core::ScenarioBuilder::trial(bytes, mac)
+                                      .duration(sim::Time::seconds(std::int64_t{32}))
+                                      .run();
+      core::StoppingAssessment a{r.config.speed_mps, r.config.vehicle_gap_m,
                                  r.p1_initial_packet_delay_s};
       std::cout << std::left << std::setw(9) << core::to_string(mac) << std::right
                 << std::setw(8) << bytes << std::fixed << std::setprecision(4) << std::setw(13)

@@ -15,7 +15,7 @@ cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD"
 
 echo "== perf_sweep (serial vs parallel confidence sweep) =="
-"$BUILD"/bench/perf_sweep BENCH_sweep.json
+"$BUILD"/bench/perf_sweep --json BENCH_sweep.json
 
 echo
 echo "== micro_components (scheduler/packet hot paths) =="

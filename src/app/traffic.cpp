@@ -50,6 +50,7 @@ void TcpCbrFeeder::stop() {
 void TcpCbrFeeder::tick() {
   if (!running_) return;
   ++offered_;
+  tcp_.node().env().metrics().add(tcp_.node().id(), sim::Counter::kAppMessagesGenerated);
   tcp_.advance_bytes(packet_bytes_);
   timer_.schedule_in(interval_);
 }

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace eblnet::core {
+
+/// Minimal streaming JSON emitter for the run manifests: handles commas,
+/// two-space indentation, string escaping and non-finite doubles (emitted
+/// as null) so every bench writes structurally valid JSON without a
+/// third-party dependency. Usage is push-style:
+///
+///   JsonWriter w{os};
+///   w.begin_object();
+///   w.field("schema_version", std::uint64_t{1});
+///   w.key("delay"); w.begin_object(); ... w.end_object();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_{os} {}
+
+  void begin_object() {
+    prefix();
+    os_ << '{';
+    stack_.push_back(0);
+  }
+  void end_object() {
+    const bool had_members = stack_.back() > 0;
+    stack_.pop_back();
+    if (had_members) newline_indent();
+    os_ << '}';
+  }
+  void begin_array() {
+    prefix();
+    os_ << '[';
+    stack_.push_back(0);
+  }
+  void end_array() {
+    const bool had_members = stack_.back() > 0;
+    stack_.pop_back();
+    if (had_members) newline_indent();
+    os_ << ']';
+  }
+
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    os_ << ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    prefix();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(bool v) {
+    prefix();
+    os_ << (v ? "true" : "false");
+  }
+  void value(std::uint64_t v) {
+    prefix();
+    os_ << v;
+  }
+  void value(std::int64_t v) {
+    prefix();
+    os_ << v;
+  }
+  void value(double v) {
+    prefix();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return;
+    }
+    // Shortest-round-trip is overkill; 17 significant digits round-trips
+    // any double and keeps the emitter locale-independent via the stream's
+    // default C locale.
+    const auto old_precision = os_.precision(17);
+    os_ << v;
+    os_.precision(old_precision);
+  }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  /// Comma/indent bookkeeping before any value or key in a container.
+  void separate() {
+    if (stack_.empty()) return;
+    if (stack_.back() > 0) os_ << ',';
+    ++stack_.back();
+    newline_indent();
+  }
+
+  /// A value either follows a key (no separator) or is an array element.
+  void prefix() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    separate();
+  }
+
+  void newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            os_ << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<std::uint32_t> stack_;  ///< member count per open container
+  bool pending_value_{false};
+};
+
+}  // namespace eblnet::core

@@ -1,56 +1,299 @@
 #include "core/report.hpp"
 
+#include <fstream>
 #include <iomanip>
 #include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/json_writer.hpp"
+#include "core/safety.hpp"
+#include "core/trial.hpp"
 
 namespace eblnet::core::report {
 
+void print_header(const ReportContext& ctx, const std::string& title) {
+  ctx.os << '\n' << std::string(72, '=') << '\n' << title << '\n' << std::string(72, '=') << '\n';
+}
+
+void print_delay_series(const ReportContext& ctx, const std::string& title,
+                        const std::vector<trace::DelaySample>& samples, std::size_t max_points) {
+  print_header(ctx, title);
+  ctx.os << "packet_id  delay_s\n";
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (n++ >= max_points) break;
+    ctx.os << std::setw(9) << s.seq << "  " << std::fixed << std::setprecision(ctx.precision)
+           << s.delay_seconds() << '\n';
+  }
+  ctx.os << "(" << std::min(samples.size(), max_points) << " of " << samples.size()
+         << " packets shown)\n";
+}
+
+void print_throughput_series(const ReportContext& ctx, const std::string& title,
+                             const stats::TimeSeries& series) {
+  print_header(ctx, title);
+  ctx.os << "time_s  mbps\n";
+  for (const auto& p : series.points()) {
+    ctx.os << std::fixed << std::setprecision(1) << std::setw(6) << p.t.to_seconds() << "  "
+           << std::setprecision(ctx.precision) << p.value << '\n';
+  }
+}
+
+void print_summary_row(const ReportContext& ctx, const std::string& label,
+                       const stats::Summary& s) {
+  if (s.empty()) {
+    ctx.os << std::left << std::setw(34) << label << " (no samples)\n";
+    return;
+  }
+  ctx.os << std::left << std::setw(34) << label << std::right << std::fixed
+         << std::setprecision(ctx.precision) << "  avg=" << s.mean() << ' ' << ctx.unit
+         << "  min=" << s.min() << ' ' << ctx.unit << "  max=" << s.max() << ' ' << ctx.unit
+         << "  n=" << s.count() << '\n';
+}
+
+void print_confidence(const ReportContext& ctx, const std::string& label,
+                      const stats::ConfidenceInterval& ci) {
+  ctx.os << label << ": the actual average is within " << std::fixed
+         << std::setprecision(ctx.precision) << ci.half_width << ' ' << ctx.unit
+         << " of the observed " << ci.mean << ' ' << ctx.unit << ", with " << std::setprecision(0)
+         << ci.confidence * 100.0 << "% confidence and " << std::setprecision(1)
+         << ci.relative_precision() * 100.0 << "% relative precision (" << ci.samples
+         << " batch samples)\n";
+}
+
+// --- ostream-first overloads (historical formatting preserved) ---------
+
 void print_header(std::ostream& os, const std::string& title) {
-  os << '\n' << std::string(72, '=') << '\n' << title << '\n' << std::string(72, '=') << '\n';
+  print_header(ReportContext{os}, title);
 }
 
 void print_delay_series(std::ostream& os, const std::string& title,
                         const std::vector<trace::DelaySample>& samples, std::size_t max_points) {
-  print_header(os, title);
-  os << "packet_id  delay_s\n";
-  std::size_t n = 0;
-  for (const auto& s : samples) {
-    if (n++ >= max_points) break;
-    os << std::setw(9) << s.seq << "  " << std::fixed << std::setprecision(6)
-       << s.delay_seconds() << '\n';
-  }
-  os << "(" << std::min(samples.size(), max_points) << " of " << samples.size()
-     << " packets shown)\n";
+  print_delay_series(ReportContext{os, 6, "s"}, title, samples, max_points);
 }
 
 void print_throughput_series(std::ostream& os, const std::string& title,
                              const stats::TimeSeries& series) {
-  print_header(os, title);
-  os << "time_s  mbps\n";
-  for (const auto& p : series.points()) {
-    os << std::fixed << std::setprecision(1) << std::setw(6) << p.t.to_seconds() << "  "
-       << std::setprecision(4) << p.value << '\n';
-  }
+  print_throughput_series(ReportContext{os, 4, "Mb/s"}, title, series);
 }
 
 void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
                        const std::string& unit) {
-  if (s.empty()) {
-    os << std::left << std::setw(34) << label << " (no samples)\n";
-    return;
-  }
-  os << std::left << std::setw(34) << label << std::right << std::fixed << std::setprecision(4)
-     << "  avg=" << s.mean() << ' ' << unit << "  min=" << s.min() << ' ' << unit
-     << "  max=" << s.max() << ' ' << unit << "  n=" << s.count() << '\n';
+  print_summary_row(ReportContext{os, 4, unit}, label, s);
 }
 
 void print_confidence(std::ostream& os, const std::string& label,
                       const stats::ConfidenceInterval& ci, const std::string& unit) {
-  os << label << ": the actual average is within " << std::fixed << std::setprecision(4)
-     << ci.half_width << ' ' << unit << " of the observed " << ci.mean << ' ' << unit << ", with "
-     << std::setprecision(0) << ci.confidence * 100.0 << "% confidence and "
-     << std::setprecision(1) << ci.relative_precision() * 100.0 << "% relative precision ("
-     << ci.samples << " batch samples)\n";
+  print_confidence(ReportContext{os, 4, unit}, label, ci);
+}
+
+// --- JSON run manifests ------------------------------------------------
+
+namespace {
+
+void write_summary(JsonWriter& w, const stats::Summary& s) {
+  w.begin_object();
+  w.field("count", s.count());
+  w.field("mean", s.mean());
+  w.field("min", s.empty() ? 0.0 : s.min());
+  w.field("max", s.empty() ? 0.0 : s.max());
+  w.end_object();
+}
+
+void write_confidence(JsonWriter& w, const stats::ConfidenceInterval& ci) {
+  w.begin_object();
+  w.field("mean", ci.mean);
+  w.field("half_width", ci.half_width);
+  w.field("confidence", ci.confidence);
+  w.field("relative_precision", ci.relative_precision());
+  w.field("samples", ci.samples);
+  w.end_object();
+}
+
+void write_gauge(JsonWriter& w, const sim::GaugeStat& g) {
+  w.begin_object();
+  w.field("count", g.count);
+  w.field("mean", g.mean());
+  w.field("min", g.min);
+  w.field("max", g.max);
+  w.end_object();
+}
+
+void write_metrics(JsonWriter& w, const sim::MetricsSnapshot& m) {
+  w.begin_object();
+  w.field("enabled", m.enabled);
+  w.field("nodes", static_cast<std::uint64_t>(m.nodes));
+  w.key("per_layer");
+  w.begin_object();
+  // Counters are declared grouped by layer, so a sequential scan emits
+  // each layer's object exactly once.
+  const char* open_layer = nullptr;
+  for (std::size_t i = 0; i < sim::kCounterCount; ++i) {
+    const auto c = static_cast<sim::Counter>(i);
+    const char* layer = sim::counter_layer(c);
+    if (open_layer == nullptr || std::string_view{open_layer} != layer) {
+      if (open_layer != nullptr) w.end_object();
+      w.key(layer);
+      w.begin_object();
+      open_layer = layer;
+    }
+    w.field(sim::counter_name(c), m.total(c));
+  }
+  if (open_layer != nullptr) w.end_object();
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (std::size_t i = 0; i < sim::kGaugeCount; ++i) {
+    const auto g = static_cast<sim::Gauge>(i);
+    w.key(sim::gauge_name(g));
+    write_gauge(w, m.gauge(g));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_config(JsonWriter& w, const ScenarioConfig& cfg) {
+  w.begin_object();
+  w.field("packet_bytes", static_cast<std::uint64_t>(cfg.packet_bytes));
+  w.field("mac", to_string(cfg.mac));
+  w.field("routing", to_string(cfg.routing));
+  w.field("use_arp", cfg.use_arp);
+  w.field("use_red_queue", cfg.use_red_queue);
+  w.field("platoon_size", static_cast<std::uint64_t>(cfg.platoon_size));
+  w.field("speed_mps", cfg.speed_mps);
+  w.field("vehicle_gap_m", cfg.vehicle_gap_m);
+  w.field("decel_mps2", cfg.decel_mps2);
+  w.field("ifq_capacity", static_cast<std::uint64_t>(cfg.ifq_capacity));
+  w.field("duration_s", cfg.duration.to_seconds());
+  w.field("seed", cfg.seed);
+  w.field("metrics_enabled", cfg.enable_metrics);
+  w.end_object();
+}
+
+void write_trial_object(JsonWriter& w, const TrialResult& r) {
+  w.begin_object();
+  w.field("schema_version", static_cast<std::int64_t>(kManifestSchemaVersion));
+  w.field("kind", "eblnet.trial");
+  w.field("name", r.name);
+  w.key("config");
+  write_config(w, r.config);
+  w.field("events_executed", r.events_executed);
+
+  w.key("delay");
+  w.begin_object();
+  w.key("p1");
+  write_summary(w, r.p1_delay_summary());
+  w.key("p2");
+  write_summary(w, r.p2_delay_summary());
+  w.field("p1_initial_packet_delay_s", r.p1_initial_packet_delay_s);
+  w.field("p1_steady_state_delay_s", r.p1_steady_state_delay_s());
+  w.end_object();
+
+  w.key("throughput");
+  w.begin_object();
+  w.key("p1");
+  write_summary(w, r.p1_throughput_summary());
+  w.key("p1_ci");
+  write_confidence(w, r.p1_throughput_ci);
+  w.key("p2");
+  write_summary(w, r.p2_throughput_summary());
+  w.key("p2_ci");
+  write_confidence(w, r.p2_throughput_ci);
+  w.end_object();
+
+  {
+    // The §III.E feasibility verdict for the latest-notified follower,
+    // with zero driver-reaction time (the network-only bound).
+    const bool have_delay = r.p1_initial_packet_delay_s >= 0.0;
+    const StoppingAssessment a{r.config.speed_mps, r.config.vehicle_gap_m,
+                               have_delay ? r.p1_initial_packet_delay_s : 0.0};
+    w.key("stopping_distance");
+    w.begin_object();
+    w.field("speed_mps", a.speed_mps);
+    w.field("headway_m", a.headway_m);
+    w.field("notification_delay_s", a.notification_delay_s);
+    w.field("distance_during_notification_m", a.distance_during_notification());
+    w.field("fraction_of_headway", a.fraction_of_headway());
+    w.field("margin_m", a.margin(0.0));
+    w.field("verdict", !have_delay       ? "no_data"
+                       : a.collision_avoided(0.0) ? "avoided"
+                                                  : "collision");
+    w.end_object();
+  }
+
+  w.key("trace_counters");
+  w.begin_object();
+  w.field("ifq_drops", r.ifq_drops);
+  w.field("phy_collisions", r.phy_collisions);
+  w.field("mac_retry_drops", r.mac_retry_drops);
+  w.field("routing_control_sends", r.routing_control_sends);
+  w.field("data_frame_sends", r.data_frame_sends);
+  w.end_object();
+
+  w.key("metrics");
+  write_metrics(w, r.metrics);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const TrialResult& r) {
+  JsonWriter w{os};
+  write_trial_object(w, r);
+  os << '\n';
+}
+
+void write_sweep_json(std::ostream& os, const std::string& name,
+                      std::span<const TrialResult> results) {
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("schema_version", static_cast<std::int64_t>(kManifestSchemaVersion));
+  w.field("kind", "eblnet.sweep");
+  w.field("name", name);
+  w.field("trial_count", static_cast<std::uint64_t>(results.size()));
+  w.key("trials");
+  w.begin_array();
+  for (const auto& r : results) write_trial_object(w, r);
+  w.end_array();
+
+  std::uint64_t events = 0;
+  sim::MetricsSnapshot merged;
+  for (const auto& r : results) {
+    events += r.events_executed;
+    merged.merge(r.metrics);
+  }
+  w.key("aggregate");
+  w.begin_object();
+  w.field("events_executed", events);
+  w.key("metrics");
+  write_metrics(w, merged);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f{path};
+  if (!f) throw std::runtime_error{"report: cannot open " + path + " for writing"};
+  return f;
+}
+
+}  // namespace
+
+void write_json_file(const std::string& path, const TrialResult& r) {
+  auto f = open_or_throw(path);
+  write_json(f, r);
+  if (!f) throw std::runtime_error{"report: write failed for " + path};
+}
+
+void write_sweep_json_file(const std::string& path, const std::string& name,
+                           std::span<const TrialResult> results) {
+  auto f = open_or_throw(path);
+  write_sweep_json(f, name, results);
+  if (!f) throw std::runtime_error{"report: write failed for " + path};
 }
 
 }  // namespace eblnet::core::report

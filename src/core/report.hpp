@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -11,28 +12,80 @@
 
 namespace eblnet::core {
 
+struct TrialResult;
+
 /// Plain-text rendering helpers shared by the bench binaries: each bench
 /// prints the same rows/series the paper's figure or table shows.
 namespace report {
 
+/// Destination and formatting for the print_* helpers: the stream, the
+/// decimal precision of the reported values, and the unit suffix. The
+/// defaults reproduce the historical output of the summary/confidence
+/// printers; the series printers use their own value precisions via the
+/// forwarding overloads below.
+struct ReportContext {
+  std::ostream& os;
+  int precision{4};
+  std::string unit;
+};
+
 /// "packet_id delay_s" rows, like the paper's delay-vs-packet-ID figures.
-void print_delay_series(std::ostream& os, const std::string& title,
+void print_delay_series(const ReportContext& ctx, const std::string& title,
                         const std::vector<trace::DelaySample>& samples,
                         std::size_t max_points = SIZE_MAX);
 
 /// "time_s mbps" rows, like the paper's throughput-vs-time figures.
-void print_throughput_series(std::ostream& os, const std::string& title,
+void print_throughput_series(const ReportContext& ctx, const std::string& title,
                              const stats::TimeSeries& series);
 
 /// One "avg/min/max" row (the per-vehicle statistics given in the text).
-void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
-                       const std::string& unit);
+void print_summary_row(const ReportContext& ctx, const std::string& label,
+                       const stats::Summary& s);
 
 /// The paper's confidence sentence: half-width, level, relative precision.
+void print_confidence(const ReportContext& ctx, const std::string& label,
+                      const stats::ConfidenceInterval& ci);
+
+void print_header(const ReportContext& ctx, const std::string& title);
+
+// --- ostream-first overloads -------------------------------------------
+// Deprecated spelling, kept so existing benches/examples compile and
+// print byte-identical text: each forwards to the ReportContext primary
+// with the historical precision/unit. New code should construct a
+// ReportContext once and pass it through.
+
+void print_delay_series(std::ostream& os, const std::string& title,
+                        const std::vector<trace::DelaySample>& samples,
+                        std::size_t max_points = SIZE_MAX);
+void print_throughput_series(std::ostream& os, const std::string& title,
+                             const stats::TimeSeries& series);
+void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
+                       const std::string& unit);
 void print_confidence(std::ostream& os, const std::string& label,
                       const stats::ConfidenceInterval& ci, const std::string& unit);
-
 void print_header(std::ostream& os, const std::string& title);
+
+// --- JSON run manifests ------------------------------------------------
+
+/// Manifest format version; bumped on any key addition/removal/rename.
+inline constexpr int kManifestSchemaVersion = 1;
+
+/// Write the versioned JSON run manifest for one finished trial:
+/// config, seed, per-layer metric counters, delay/throughput summaries
+/// and the stopping-distance verdict. The metrics block reflects
+/// TrialResult::metrics (all-zero when the trial ran without
+/// `enable_metrics`).
+void write_json(std::ostream& os, const TrialResult& r);
+
+/// Write a sweep manifest: every trial's manifest plus an aggregate block
+/// (summed events and per-layer counters merged across trials).
+void write_sweep_json(std::ostream& os, const std::string& name,
+                      std::span<const TrialResult> results);
+
+/// Convenience: open `path`, write the manifest, throw on I/O failure.
+void write_json_file(const std::string& path, const TrialResult& r);
+void write_sweep_json_file(const std::string& path, const std::string& name,
+                           std::span<const TrialResult> results);
 
 }  // namespace report
 }  // namespace eblnet::core

@@ -34,6 +34,7 @@ EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, en
   if (config_.platoon_size < 2)
     throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
   if (config_.enable_trace) env_.set_trace_sink(&trace_);
+  env_.metrics().set_enabled(config_.enable_metrics);
   propagation_ = std::make_shared<phy::TwoRayGround>();
   channel_ = std::make_unique<phy::Channel>(env_, propagation_);
   build_mobility();

@@ -86,6 +86,11 @@ struct ScenarioConfig {
 
   std::uint64_t seed{1};
   bool enable_trace{true};
+
+  /// Turn on the per-layer metrics registry (sim::MetricsRegistry). Off by
+  /// default so the hot path stays a single predicted branch; benches enable
+  /// it when a JSON run manifest is requested.
+  bool enable_metrics{false};
 };
 
 /// The reference network model of the paper (§III.A): two platoons of

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/scenario.hpp"
+#include "core/trial.hpp"
+
+namespace eblnet::core {
+
+/// Fluent front door for configuring and running the intersection
+/// scenario — the single public entry point examples and benches go
+/// through. Every setter returns *this, so a whole experiment reads as
+/// one expression:
+///
+///   const core::TrialResult r = core::ScenarioBuilder::trial1()
+///                                   .seed(7)
+///                                   .metrics()
+///                                   .run("trial1/seed7");
+///
+/// Start from a preset (trial1/2/3, the paper's calibrated trials), from
+/// a (packet size, MAC) point, or from scratch; fields without a named
+/// setter are reachable through mutate().
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(ScenarioConfig config) : config_{std::move(config)} {}
+
+  // --- presets ---
+  /// The paper's trials: 1000 B/TDMA, 500 B/TDMA, 1000 B/802.11.
+  static ScenarioBuilder trial1() { return ScenarioBuilder{trial1_config()}; }
+  static ScenarioBuilder trial2() { return ScenarioBuilder{trial2_config()}; }
+  static ScenarioBuilder trial3() { return ScenarioBuilder{trial3_config()}; }
+  /// An arbitrary grid point sharing the trials' calibrated parameters.
+  static ScenarioBuilder trial(std::size_t packet_bytes, MacType mac) {
+    return ScenarioBuilder{make_trial_config(packet_bytes, mac)};
+  }
+
+  // --- the paper's variable parameters ---
+  ScenarioBuilder& mac(MacType m) {
+    config_.mac = m;
+    return *this;
+  }
+  ScenarioBuilder& packet_bytes(std::size_t bytes) {
+    config_.packet_bytes = bytes;
+    return *this;
+  }
+
+  // --- baselines / ablations ---
+  ScenarioBuilder& routing(RoutingType r) {
+    config_.routing = r;
+    return *this;
+  }
+  ScenarioBuilder& arp(bool on = true) {
+    config_.use_arp = on;
+    return *this;
+  }
+  ScenarioBuilder& red_queue(bool on = true) {
+    config_.use_red_queue = on;
+    return *this;
+  }
+  ScenarioBuilder& red_queue(const queue::RedParams& params) {
+    config_.use_red_queue = true;
+    config_.red = params;
+    return *this;
+  }
+
+  // --- run shape ---
+  ScenarioBuilder& platoon_size(std::size_t n) {
+    config_.platoon_size = n;
+    return *this;
+  }
+  ScenarioBuilder& duration(sim::Time t) {
+    config_.duration = t;
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t s) {
+    config_.seed = s;
+    return *this;
+  }
+
+  // --- observability ---
+  /// Enable the per-layer metrics registry (JSON manifests need this).
+  ScenarioBuilder& metrics(bool on = true) {
+    config_.enable_metrics = on;
+    return *this;
+  }
+  ScenarioBuilder& trace(bool on = true) {
+    config_.enable_trace = on;
+    return *this;
+  }
+
+  /// Escape hatch for fields without a named setter.
+  ScenarioBuilder& mutate(const std::function<void(ScenarioConfig&)>& fn) {
+    fn(config_);
+    return *this;
+  }
+
+  // --- terminal operations ---
+  const ScenarioConfig& config() const noexcept { return config_; }
+  ScenarioConfig build() const { return config_; }
+
+  /// Construct the scenario without running it (step it manually with
+  /// run_until, attach reactors, ...).
+  std::unique_ptr<EblScenario> build_scenario() const {
+    return std::make_unique<EblScenario>(config_);
+  }
+
+  /// Run to completion and extract the TrialResult (see core::run_trial).
+  TrialResult run(std::string name = {},
+                  const std::function<void(EblScenario&)>& after_run = {}) const {
+    return run_trial(config_, std::move(name), after_run);
+  }
+
+ private:
+  ScenarioConfig config_;
+};
+
+}  // namespace eblnet::core

@@ -75,6 +75,20 @@ TrialResult run_trial(const ScenarioConfig& config, std::string name,
   r.config = config;
   r.events_executed = scenario.env().scheduler().executed_count();
 
+  if (config.enable_metrics) {
+    // Fold residual queue occupancy into the registry so the conservation
+    // identity enqueued == dequeued + dropped + removed + residual closes.
+    auto& metrics = scenario.env().metrics();
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+      const net::MacLayer* mac = scenario.node(i).mac();
+      const net::PacketQueue* ifq = mac ? mac->interface_queue() : nullptr;
+      if (ifq && ifq->length() > 0) {
+        metrics.add(static_cast<std::uint32_t>(i), sim::Counter::kIfqResidual, ifq->length());
+      }
+    }
+    r.metrics = metrics.snapshot();
+  }
+
   const trace::DelayAnalyzer delays{scenario.trace().records()};
   r.p1_middle = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Middle);
   r.p1_trailing = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Trailing);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "sim/metrics.hpp"
 #include "stats/confidence.hpp"
 #include "stats/summary.hpp"
 #include "stats/time_series.hpp"
@@ -12,11 +13,20 @@
 
 namespace eblnet::core {
 
+/// Per-layer counter/gauge snapshot carried by a TrialResult. Empty (all
+/// zero) unless the scenario ran with `enable_metrics`.
+using TrialMetrics = sim::MetricsSnapshot;
+
 /// Everything the paper reports for one trial, extracted from a finished
 /// EblScenario run.
 struct TrialResult {
   std::string name;
   ScenarioConfig config;
+
+  /// Per-node, per-layer counters and gauges captured at end of run
+  /// (residual interface-queue occupancy is folded in as kIfqResidual so
+  /// the queue conservation identity holds exactly).
+  TrialMetrics metrics;
 
   /// One-way delay samples per receiver (seq-ordered), per platoon.
   std::vector<trace::DelaySample> p1_middle;

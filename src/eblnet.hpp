@@ -6,6 +6,7 @@
 /// and quick experiments can start here.
 
 // Engine
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/thread_pool.hpp"
@@ -68,4 +69,5 @@
 #include "core/runner.hpp"
 #include "core/safety.hpp"
 #include "core/scenario.hpp"
+#include "core/scenario_builder.hpp"
 #include "core/trial.hpp"

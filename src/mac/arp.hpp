@@ -47,6 +47,9 @@ class ArpLayer final : public net::MacLayer {
   net::NodeId address() const override { return inner_->address(); }
   bool detects_link_failures() const override { return inner_->detects_link_failures(); }
   std::vector<net::Packet> flush_next_hop(net::NodeId next_hop) override;
+  const net::PacketQueue* interface_queue() const noexcept override {
+    return inner_->interface_queue();
+  }
 
   // --- introspection ---
   bool is_resolved(net::NodeId dst) const { return resolved_.contains(dst); }

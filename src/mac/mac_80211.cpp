@@ -115,6 +115,8 @@ void Mac80211::access_granted() {
 void Mac80211::draw_backoff() {
   pending_backoff_slots_ =
       static_cast<int>(env_.rng().uniform_int(static_cast<std::uint64_t>(cw_) + 1));
+  env_.metrics().add(address_, sim::Counter::kMacBackoffSlots,
+                     static_cast<std::uint64_t>(pending_backoff_slots_));
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +170,7 @@ void Mac80211::transmit_current() {
     const sim::Time nav =
         cts_air + data_airtime(*tx_frame_) + ack_air + params_.sifs * std::int64_t{3};
     net::Packet rts = make_ctrl(net::PacketType::kMacRts, tx_frame_->mac->dst, nav);
+    env_.metrics().add(address_, sim::Counter::kMacRtsSent);
     phy_.transmit(std::move(rts), rts_air);
     state_ = TxState::kWaitCts;
     response_timer_.schedule_in(rts_air + params_.sifs + cts_air + params_.timeout_slack);
@@ -185,7 +188,11 @@ void Mac80211::send_data_frame() {
   copy.mac->duration = unicast ? params_.sifs + ack_air : sim::Time::zero();
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kMac, address_, copy);
   ++tx_data_;
-  if (retries_ > 0) ++tx_retries_;
+  env_.metrics().add(address_, sim::Counter::kMacTxData);
+  if (retries_ > 0) {
+    ++tx_retries_;
+    env_.metrics().add(address_, sim::Counter::kMacRetries);
+  }
   phy_.transmit(std::move(copy), air);
   if (unicast) {
     state_ = TxState::kWaitAck;
@@ -201,10 +208,13 @@ void Mac80211::on_data_tx_end() {
 }
 
 void Mac80211::on_response_timeout() {
+  if (state_ == TxState::kWaitAck)
+    env_.metrics().add(address_, sim::Counter::kMacAckTimeouts);
   ++retries_;
   cw_ = std::min(cw_ * 2 + 1, params_.cw_max);
   if (retries_ > retry_limit_for_current()) {
     ++tx_drops_;
+    env_.metrics().add(address_, sim::Counter::kMacRetryDrops);
     env_.trace(net::TraceAction::kDrop, net::TraceLayer::kMac, address_, *tx_frame_, "RET");
     const net::Packet failed = std::move(*tx_frame_);
     finish_frame();
@@ -269,6 +279,7 @@ void Mac80211::on_rx_end(net::Packet p, bool ok) {
     if (!net::is_mac_control(p.type) && p.type != net::PacketType::kNoise) {
       p.prev_hop = p.mac->src;
       env_.trace(net::TraceAction::kRecv, net::TraceLayer::kMac, address_, p);
+      env_.metrics().add(address_, sim::Counter::kMacRxData);
       deliver_up(std::move(p));
     }
     return;
@@ -283,10 +294,12 @@ void Mac80211::handle_data(net::Packet p) {
   schedule_response(std::move(ack), ctrl_airtime(params_.ack_bytes));
   if (is_duplicate(p)) {
     ++rx_dups_;
+    env_.metrics().add(address_, sim::Counter::kMacDuplicates);
     return;
   }
   p.prev_hop = p.mac->src;
   env_.trace(net::TraceAction::kRecv, net::TraceLayer::kMac, address_, p);
+  env_.metrics().add(address_, sim::Counter::kMacRxData);
   deliver_up(std::move(p));
 }
 
@@ -297,6 +310,7 @@ void Mac80211::handle_rts(const net::Packet& p) {
       p.mac->duration > params_.sifs + cts_air ? p.mac->duration - params_.sifs - cts_air
                                                : sim::Time::zero();
   net::Packet cts = make_ctrl(net::PacketType::kMacCts, p.mac->src, remaining);
+  env_.metrics().add(address_, sim::Counter::kMacCtsSent);
   schedule_response(std::move(cts), cts_air);
 }
 
@@ -312,6 +326,8 @@ void Mac80211::handle_cts() {
   const sim::Time air = data_airtime(copy);
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kMac, address_, copy);
   ++tx_data_;
+  env_.metrics().add(address_, sim::Counter::kMacTxData);
+  if (retries_ > 0) env_.metrics().add(address_, sim::Counter::kMacRetries);
   pending_response_ = std::move(copy);
   pending_response_airtime_ = air;
   response_is_data_ = true;

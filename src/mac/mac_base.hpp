@@ -26,6 +26,7 @@ class MacBase : public net::MacLayer {
   }
 
   const net::PacketQueue& ifq() const noexcept { return *ifq_; }
+  const net::PacketQueue* interface_queue() const noexcept final { return ifq_.get(); }
 
  protected:
   /// Airtime of `bytes` at `rate_bps` plus the PLCP preamble overhead.

@@ -21,6 +21,7 @@ void MacTdma::enqueue(net::Packet p) {
   p.mac->src = address_;
   if (p.size_bytes() > params_.max_packet_bytes) {
     ++oversize_drops_;
+    env_.metrics().add(address_, sim::Counter::kTdmaOversizeDrops);
     env_.trace(net::TraceAction::kDrop, net::TraceLayer::kMac, address_, p, "SIZE");
     return;
   }
@@ -41,12 +42,17 @@ void MacTdma::schedule_next_slot() {
 void MacTdma::on_slot_start() {
   schedule_next_slot();
   auto p = ifq_->dequeue();
-  if (!p) return;
+  if (!p) {
+    env_.metrics().add(address_, sim::Counter::kTdmaSlotsIdle);
+    return;
+  }
   const sim::Time air =
       airtime(p->size_bytes() + params_.data_header_bytes, params_.data_rate_bps,
               params_.plcp_overhead);
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kMac, address_, *p);
   ++tx_data_;
+  env_.metrics().add(address_, sim::Counter::kTdmaSlotsUsed);
+  env_.metrics().add(address_, sim::Counter::kMacTxData);
   phy_.transmit(std::move(*p), air);
 }
 
@@ -56,6 +62,7 @@ void MacTdma::on_rx_end(net::Packet p, bool ok) {
   if (p.mac->dst != address_ && p.mac->dst != net::kBroadcastAddress) return;
   p.prev_hop = p.mac->src;
   env_.trace(net::TraceAction::kRecv, net::TraceLayer::kMac, address_, p);
+  env_.metrics().add(address_, sim::Counter::kMacRxData);
   deliver_up(std::move(p));
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "net/trace_sink.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -23,6 +24,12 @@ class Env {
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   sim::Rng& rng() noexcept { return rng_; }
   sim::Time now() const noexcept { return scheduler_.now(); }
+
+  /// Per-layer counter/gauge registry. Disabled by default: every
+  /// `metrics().add(...)` on the packet hot path is then a single branch
+  /// (and compiles out entirely under EBLNET_METRICS_DISABLED).
+  sim::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const sim::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   std::uint64_t alloc_uid() noexcept { return next_uid_++; }
 
@@ -56,6 +63,7 @@ class Env {
  private:
   sim::Scheduler scheduler_;
   sim::Rng rng_;
+  sim::MetricsRegistry metrics_;
   TraceSink* trace_{nullptr};
   std::uint64_t next_uid_{1};
 };

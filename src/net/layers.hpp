@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/metrics.hpp"
 
 namespace eblnet::net {
 
@@ -30,6 +31,26 @@ class PacketQueue {
 
   using DropCallback = std::function<void(const Packet&, const char* reason)>;
   virtual void set_drop_callback(DropCallback cb) = 0;
+
+  /// Point the queue at a metrics registry, scoped to `node` (done by
+  /// MacBase when it adopts the queue). Null detaches.
+  void bind_metrics(sim::MetricsRegistry* m, NodeId node) noexcept {
+    metrics_ = m;
+    metrics_node_ = node;
+  }
+
+ protected:
+  /// Counter bump for implementations; a no-op branch until bound.
+  void metric(sim::Counter c, std::uint64_t delta = 1) noexcept {
+    if (metrics_ != nullptr) metrics_->add(metrics_node_, c, delta);
+  }
+  void metric_sample(sim::Gauge g, double v) noexcept {
+    if (metrics_ != nullptr) metrics_->sample(metrics_node_, g, v);
+  }
+
+ private:
+  sim::MetricsRegistry* metrics_{nullptr};
+  NodeId metrics_node_{0};
 };
 
 /// Link layer seen from above. Implementations: mac::Mac80211, mac::MacTdma.
@@ -60,6 +81,11 @@ class MacLayer {
 
   /// Flush queued data packets destined to `next_hop` (route broke).
   virtual std::vector<Packet> flush_next_hop(NodeId next_hop) = 0;
+
+  /// The interface queue feeding this MAC, when it has one (decorators
+  /// forward to the wrapped MAC). Used by the metrics snapshot to account
+  /// for packets still queued at the end of a run.
+  virtual const PacketQueue* interface_queue() const noexcept { return nullptr; }
 };
 
 /// Network layer. Implementations: routing::Aodv, routing::StaticRouting.

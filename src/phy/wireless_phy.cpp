@@ -40,6 +40,7 @@ void WirelessPhy::transmit(net::Packet p, sim::Time duration) {
   if (rx_active_) abort_reception();
   tx_until_ = env_.now() + duration;
   ++tx_count_;
+  env_.metrics().add(owner_, sim::Counter::kPhyTx);
   note_busy_until(tx_until_);
   channel_.transmit(*this, p, duration);
   update_carrier();
@@ -63,6 +64,8 @@ void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time durat
                rx_power_w >= params_.rx_threshold_w) {
       // Newcomer captures the receiver; the old frame is lost.
       ++rx_collision_count_;
+      env_.metrics().add(owner_, sim::Counter::kPhyRxCaptured);
+      env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
       env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "COL");
       rx_packet_ = std::move(p);
       rx_power_ = rx_power_w;
@@ -81,8 +84,10 @@ void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time durat
     rx_power_ = rx_power_w;
     rx_packet_ = std::move(p);
     rx_end_timer_.schedule_at(end);
+  } else {
+    // Below RX threshold with no reception in progress: carrier noise only.
+    env_.metrics().add(owner_, sim::Counter::kPhyBelowRxThreshold);
   }
-  // Below RX threshold with no reception in progress: carrier noise only.
   update_carrier();
 }
 
@@ -92,8 +97,10 @@ void WirelessPhy::finish_reception() {
   const bool ok = rx_ok_;
   if (ok) {
     ++rx_ok_count_;
+    env_.metrics().add(owner_, sim::Counter::kPhyRxOk);
   } else {
     ++rx_collision_count_;
+    env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
     env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, p, "COL");
   }
   update_carrier();
@@ -104,6 +111,8 @@ void WirelessPhy::abort_reception() {
   rx_active_ = false;
   rx_end_timer_.cancel();
   ++rx_collision_count_;
+  env_.metrics().add(owner_, sim::Counter::kPhyRxAbortedByTx);
+  env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
   env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "TXB");
 }
 
@@ -121,6 +130,7 @@ void WirelessPhy::update_carrier() {
   }
   if (busy != carrier_was_busy_) {
     carrier_was_busy_ = busy;
+    if (busy) env_.metrics().add(owner_, sim::Counter::kPhyCsBusy);
     if (carrier_cb_) carrier_cb_(busy);
   }
 }

@@ -14,6 +14,8 @@ bool DropTailQueue::enqueue(net::Packet p) {
     return false;
   }
   q_.push_back(std::move(p));
+  metric(sim::Counter::kIfqEnqueued);
+  metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q_.size()));
   return true;
 }
 
@@ -28,6 +30,7 @@ std::optional<net::Packet> DropTailQueue::dequeue() {
   net::Packet p = std::move(q_.front());
 #pragma GCC diagnostic pop
   q_.pop_front();
+  metric(sim::Counter::kIfqDequeued);
   return p;
 }
 
@@ -43,11 +46,13 @@ std::vector<net::Packet> DropTailQueue::remove_by_next_hop(net::NodeId next_hop)
       ++it;
     }
   }
+  metric(sim::Counter::kIfqRemoved, removed.size());
   return removed;
 }
 
 void DropTailQueue::drop(net::Packet p, const char* reason) {
   ++drops_;
+  metric(sim::Counter::kIfqDropped);
   if (drop_cb_) drop_cb_(p, reason);
 }
 
@@ -63,6 +68,8 @@ bool PriQueue::enqueue(net::Packet p) {
         net::Packet victim = std::move(*it);
         q.erase(std::next(it).base());
         q.push_front(std::move(p));
+        metric(sim::Counter::kIfqEnqueued);
+        metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q.size()));
         drop(std::move(victim), "IFQ");
         return true;
       }
@@ -71,6 +78,8 @@ bool PriQueue::enqueue(net::Packet p) {
     return false;
   }
   q.push_front(std::move(p));
+  metric(sim::Counter::kIfqEnqueued);
+  metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q.size()));
   return true;
 }
 

@@ -51,6 +51,8 @@ bool RedQueue::enqueue(net::Packet p) {
   } else {
     q_.push_back(std::move(p));
   }
+  metric(sim::Counter::kIfqEnqueued);
+  metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q_.size()));
   return true;
 }
 
@@ -58,6 +60,7 @@ std::optional<net::Packet> RedQueue::dequeue() {
   if (q_.empty()) return std::nullopt;
   net::Packet p = std::move(q_.front());
   q_.pop_front();
+  metric(sim::Counter::kIfqDequeued);
   return p;
 }
 
@@ -73,11 +76,14 @@ std::vector<net::Packet> RedQueue::remove_by_next_hop(net::NodeId next_hop) {
       ++it;
     }
   }
+  metric(sim::Counter::kIfqRemoved, removed.size());
   return removed;
 }
 
 void RedQueue::drop(net::Packet p, const char* reason, std::uint64_t& counter) {
   ++counter;
+  metric(sim::Counter::kIfqDropped);
+  if (&counter == &early_drops_) metric(sim::Counter::kIfqRedEarlyDrops);
   if (drop_cb_) drop_cb_(p, reason);
 }
 

@@ -130,10 +130,12 @@ void Aodv::drop_buffered(net::NodeId dst, const char* reason) {
 
 void Aodv::start_discovery(net::NodeId dst) {
   ++stats_.discoveries_started;
+  env_.metrics().add(self_, sim::Counter::kAodvDiscoveries);
   auto d = std::make_unique<Discovery>(env_.scheduler(),
                                        [this, dst] { on_discovery_timeout(dst); });
   d->retries = 0;
   d->ttl = params_.ttl_start;
+  d->started = env_.now();
   Discovery* dp = d.get();
   discoveries_[dst] = std::move(d);
   send_rreq(dst, dp->ttl);
@@ -157,6 +159,8 @@ void Aodv::send_rreq(net::NodeId dst, unsigned ttl) {
   p.aodv = h;
   rreq_seen(self_, rreq_id_);  // never process our own flood
   ++stats_.rreq_sent;
+  env_.metrics().add(self_, sim::Counter::kAodvRreqSent);
+  env_.metrics().add(self_, sim::Counter::kAodvDiscoveryRounds);
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kRouter, self_, p);
   broadcast_jittered(std::move(p));
 }
@@ -166,6 +170,8 @@ void Aodv::on_discovery_timeout(net::NodeId dst) {
   if (it == discoveries_.end()) return;
   Discovery& d = *it->second;
   if (table_.lookup_valid(dst, env_.now()) != nullptr) {
+    env_.metrics().sample(self_, sim::Gauge::kAodvRouteAcquisitionSeconds,
+                          (env_.now() - d.started).to_seconds());
     discoveries_.erase(it);
     flush_buffer(dst);
     return;
@@ -186,6 +192,7 @@ void Aodv::on_discovery_timeout(net::NodeId dst) {
     return;
   }
   ++stats_.discoveries_failed;
+  env_.metrics().add(self_, sim::Counter::kAodvDiscoveryFailures);
   discoveries_.erase(it);
   drop_buffered(dst, "NRTE");
 }
@@ -243,6 +250,7 @@ void Aodv::handle_rreq(net::Packet p) {
     }
     rep.aodv = rh;
     ++stats_.rrep_sent;
+    env_.metrics().add(self_, sim::Counter::kAodvRrepSent);
     env_.trace(net::TraceAction::kSend, net::TraceLayer::kRouter, self_, rep);
     send_via(std::move(rep), rev.next_hop);
     return;
@@ -254,6 +262,7 @@ void Aodv::handle_rreq(net::Packet p) {
   p.aodv = h;
   p.mac.reset();
   ++stats_.rreq_forwarded;
+  env_.metrics().add(self_, sim::Counter::kAodvRreqForwarded);
   broadcast_jittered(std::move(p));
 }
 
@@ -277,7 +286,11 @@ void Aodv::handle_rrep(net::Packet p) {
 
   if (h.origin == self_) {
     const auto it = discoveries_.find(h.dst);
-    if (it != discoveries_.end()) discoveries_.erase(it);
+    if (it != discoveries_.end()) {
+      env_.metrics().sample(self_, sim::Gauge::kAodvRouteAcquisitionSeconds,
+                            (env_.now() - it->second->started).to_seconds());
+      discoveries_.erase(it);
+    }
     flush_buffer(h.dst);
     return;
   }
@@ -298,6 +311,7 @@ void Aodv::handle_rrep(net::Packet p) {
   rev->precursors.insert(p.prev_hop);
   p.mac.reset();
   ++stats_.rrep_forwarded;
+  env_.metrics().add(self_, sim::Counter::kAodvRrepForwarded);
   send_via(std::move(p), rev->next_hop);
 }
 
@@ -378,6 +392,7 @@ void Aodv::send_rerr(const std::vector<net::AodvRerrHeader::Unreachable>& list) 
   h.unreachable = list;
   p.aodv = std::move(h);
   ++stats_.rerr_sent;
+  env_.metrics().add(self_, sim::Counter::kAodvRerrSent);
   env_.trace(net::TraceAction::kSend, net::TraceLayer::kRouter, self_, p);
   broadcast_jittered(std::move(p));
 }
@@ -399,6 +414,7 @@ void Aodv::on_hello_tick() {
   h.seqno = seqno_;
   p.aodv = h;
   ++stats_.hello_sent;
+  env_.metrics().add(self_, sim::Counter::kAodvHelloSent);
   broadcast_jittered(std::move(p));
 
   // Expire neighbours we have not heard from.

@@ -98,6 +98,7 @@ class Aodv final : public net::RoutingAgent {
   struct Discovery {
     unsigned retries{0};
     unsigned ttl{0};
+    sim::Time started{};  ///< for the route-acquisition-latency gauge
     sim::Timer timer;
     Discovery(sim::Scheduler& s, std::function<void()> cb) : timer{s, std::move(cb)} {}
   };

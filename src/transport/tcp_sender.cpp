@@ -74,8 +74,10 @@ void TcpSender::send_packet(std::int64_t seq, bool is_retransmit) {
   p.created = it->second;
 
   ++stats_.data_sent;
+  node_.env().metrics().add(node_.id(), sim::Counter::kTcpDataSent);
   if (is_retransmit) {
     ++stats_.retransmits;
+    node_.env().metrics().add(node_.id(), sim::Counter::kTcpRetransmits);
     retransmitted_.insert(seq);
   } else {
     // Only first transmissions are traced as agent-level sends: the
@@ -89,12 +91,14 @@ void TcpSender::send_packet(std::int64_t seq, bool is_retransmit) {
 void TcpSender::recv(net::Packet p) {
   if (!p.tcp) return;
   ++stats_.acks_received;
+  node_.env().metrics().add(node_.id(), sim::Counter::kTcpAcksReceived);
   const std::int64_t ack = p.tcp->ack;
   if (ack > highest_ack_) {
     on_new_ack(ack, p.tcp->ts);
   } else {
     on_dup_ack();
   }
+  node_.env().metrics().sample(node_.id(), sim::Gauge::kTcpCwnd, cwnd_);
 }
 
 void TcpSender::on_new_ack(std::int64_t ack, sim::Time ts_echo) {
@@ -144,6 +148,7 @@ void TcpSender::on_dup_ack() {
   if (highest_ack_ <= recover_) return;  // already recovering this hole
   // Fast retransmit.
   ++stats_.fast_retransmits;
+  node_.env().metrics().add(node_.id(), sim::Counter::kTcpFastRetransmits);
   recover_ = t_seqno_ - 1;
   ssthresh_ = std::max(effective_window() / 2.0, 2.0);
   if (params_.flavor == TcpFlavor::kReno) {
@@ -162,6 +167,7 @@ void TcpSender::on_dup_ack() {
 void TcpSender::on_rto_timeout() {
   if (t_seqno_ <= highest_ack_ + 1 && !in_fast_recovery_) return;  // nothing outstanding
   ++stats_.timeouts;
+  node_.env().metrics().add(node_.id(), sim::Counter::kTcpRtoFirings);
   ssthresh_ = std::max(effective_window() / 2.0, 2.0);
   cwnd_ = 1.0;
   backoff_ = std::min(backoff_ * 2, params_.max_backoff);

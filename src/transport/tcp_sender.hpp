@@ -69,6 +69,7 @@ class TcpSender final : public net::PortHandler {
   void recv(net::Packet p) override;  ///< ACKs from the sink
 
   // --- introspection ---
+  net::Node& node() noexcept { return node_; }
   const TcpStats& stats() const noexcept { return stats_; }
   double cwnd() const noexcept { return cwnd_; }
   double ssthresh() const noexcept { return ssthresh_; }

@@ -37,6 +37,7 @@ void TcpSink::recv(net::Packet p) {
       out_of_order_.emplace(seq, p.payload_bytes);
     }
     node_.env().trace(net::TraceAction::kRecv, net::TraceLayer::kAgent, node_.id(), p);
+    node_.env().metrics().add(node_.id(), sim::Counter::kAppMessagesDelivered);
   } else {
     ++duplicates_;
   }

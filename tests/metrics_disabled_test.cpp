@@ -1,0 +1,40 @@
+// Compile-flag contract: this test target is built with
+// EBLNET_METRICS_DISABLED (see tests/CMakeLists.txt), under which the
+// registry's hot-path calls compile to nothing and the registry can
+// never be enabled — the zero-overhead escape hatch for perf builds.
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+using namespace eblnet::sim;
+
+static_assert(!MetricsRegistry::kCompiledIn,
+              "this test must be compiled with EBLNET_METRICS_DISABLED");
+
+TEST(MetricsDisabledTest, CannotBeEnabled) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST(MetricsDisabledTest, AddAndSampleCompileToNothing) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add(0, Counter::kPhyTx, 100);
+  reg.sample(0, Gauge::kIfqDepth, 42.0);
+  EXPECT_EQ(reg.nodes(), 0u);
+  EXPECT_EQ(reg.node_counter(0, Counter::kPhyTx), 0u);
+  EXPECT_EQ(reg.node_gauge(0, Gauge::kIfqDepth).count, 0u);
+}
+
+TEST(MetricsDisabledTest, SnapshotIsEmptyAndDisabled) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.add(3, Counter::kMacTxData);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_EQ(snap.nodes, 0u);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+}
