@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+
+namespace eblnet::bench {
+
+/// Number of heap allocations (all global operator new variants) made by
+/// this process so far. Only meaningful in binaries that link
+/// alloc_counter.cpp, which replaces the global allocation functions with
+/// counting versions — that TU is linked into perf_sweep ONLY, so the
+/// library and every other binary keep the stock allocator.
+std::uint64_t alloc_count() noexcept;
+
+}  // namespace eblnet::bench

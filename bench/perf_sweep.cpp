@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/alloc_counter.hpp"
 #include "bench/options.hpp"
 #include "core/json_writer.hpp"
 #include "core/report.hpp"
@@ -38,10 +39,14 @@ struct SweepTiming {
   double wall_s{0.0};
   std::uint64_t events{0};
   std::size_t trials{0};
+  std::uint64_t allocs{0};  ///< heap allocations during the sweep (whole process)
 
   double events_per_sec() const { return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0; }
   double per_trial_ms() const {
     return trials > 0 ? wall_s * 1e3 / static_cast<double>(trials) : 0.0;
+  }
+  double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
   }
 };
 
@@ -67,6 +72,7 @@ std::vector<core::TrialSpec> confidence_specs() {
 SweepTiming time_sweep(unsigned jobs) {
   const std::vector<core::TrialSpec> specs = confidence_specs();
   const core::Runner runner{jobs};
+  const std::uint64_t allocs_before = bench::alloc_count();
   const auto start = std::chrono::steady_clock::now();
   const std::vector<core::TrialResult> runs = runner.run_trials(specs);
   const auto stop = std::chrono::steady_clock::now();
@@ -74,6 +80,7 @@ SweepTiming time_sweep(unsigned jobs) {
   SweepTiming t;
   t.jobs = runner.jobs();
   t.wall_s = std::chrono::duration<double>(stop - start).count();
+  t.allocs = bench::alloc_count() - allocs_before;
   t.trials = runs.size();
   t.events = std::accumulate(runs.begin(), runs.end(), std::uint64_t{0},
                              [](std::uint64_t acc, const core::TrialResult& r) {
@@ -86,7 +93,8 @@ void print_row(std::ostream& os, const char* label, const SweepTiming& t) {
   os << std::left << std::setw(10) << label << std::right << std::setw(6) << t.jobs
      << std::fixed << std::setprecision(3) << std::setw(12) << t.wall_s << std::setprecision(1)
      << std::setw(14) << t.per_trial_ms() << std::setprecision(0) << std::setw(14)
-     << t.events_per_sec() << '\n';
+     << t.events_per_sec() << std::setprecision(4) << std::setw(12) << t.allocs_per_event()
+     << '\n';
 }
 
 void write_timing(core::JsonWriter& w, const SweepTiming& t) {
@@ -96,6 +104,8 @@ void write_timing(core::JsonWriter& w, const SweepTiming& t) {
   w.field("per_trial_ms", t.per_trial_ms());
   w.field("events", t.events);
   w.field("events_per_sec", t.events_per_sec());
+  w.field("allocs", t.allocs);
+  w.field("allocs_per_event", t.allocs_per_event());
   w.end_object();
 }
 
@@ -132,7 +142,7 @@ int main(int argc, char** argv) {
   os << "perf_sweep: 30-trial confidence sweep, serial vs parallel\n\n";
   os << std::left << std::setw(10) << "mode" << std::right << std::setw(6) << "jobs"
      << std::setw(12) << "wall (s)" << std::setw(14) << "trial (ms)" << std::setw(14)
-     << "events/s" << '\n';
+     << "events/s" << std::setw(12) << "allocs/ev" << '\n';
 
   const SweepTiming serial = time_sweep(1);
   print_row(os, "serial", serial);

@@ -58,7 +58,14 @@ int main(int argc, char** argv) {
   std::map<std::string, std::size_t> drops;
   for (const auto& r : records) {
     if (r.action == net::TraceAction::kDrop) {
-      ++drops[std::string{net::to_string(r.layer)} + "/" + (r.reason.empty() ? "-" : r.reason)];
+      std::string key{net::to_string(r.layer)};
+      key += '/';
+      if (r.reason.empty()) {
+        key += '-';
+      } else {
+        key += r.reason;
+      }
+      ++drops[key];
     }
   }
   core::report::print_header(std::cout, "Drops by layer/reason");

@@ -1,21 +1,50 @@
 #!/usr/bin/env sh
 # Timing runs: build Release (-O2 -DNDEBUG) into its own build dir, then
-# run the parallel-sweep harness (writes BENCH_sweep.json at the repo
-# root) and the scheduler/packet micro-benchmarks. Debug or
-# RelWithDebInfo numbers are not comparable; this script exists so every
-# recorded number comes from the same optimized configuration.
+# run the parallel-sweep harness and the scheduler/packet
+# micro-benchmarks. Debug or RelWithDebInfo numbers are not comparable;
+# this script exists so every recorded number comes from the same
+# optimized configuration.
+#
+# Each sweep run is APPENDED to the BENCH_sweep.json history array (the
+# shell stamps it with the run date — the C++ harness stays
+# deterministic), so the perf trajectory across PRs stays visible in one
+# file. A legacy single-object BENCH_sweep.json is wrapped into a
+# one-entry array on first contact.
 #
 # EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=build-release
+HIST=BENCH_sweep.json
 
 cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD"
 
 echo "== perf_sweep (serial vs parallel confidence sweep) =="
-"$BUILD"/bench/perf_sweep --json BENCH_sweep.json
+RUN=$(mktemp)
+trap 'rm -f "$RUN"' EXIT
+"$BUILD"/bench/perf_sweep --json "$RUN"
+
+# Migrate a pre-history file (one bare object) into a one-entry array.
+if [ -f "$HIST" ] && [ "$(head -c1 "$HIST")" = "{" ]; then
+  { printf '[\n'; cat "$HIST"; printf ']\n'; } > "$HIST.tmp"
+  mv "$HIST.tmp" "$HIST"
+fi
+
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+if [ ! -f "$HIST" ]; then
+  printf '[\n' > "$HIST"
+else
+  # Drop the closing ']' and separate the new entry from the previous one.
+  sed -i '$d' "$HIST"
+  printf ',\n' >> "$HIST"
+fi
+# The run file is a pretty-printed object whose first line is '{': re-emit
+# it with the timestamp injected as the first field.
+{ printf '{\n  "timestamp": "%s",\n' "$STAMP"; tail -n +2 "$RUN"; } >> "$HIST"
+printf ']\n' >> "$HIST"
+echo "appended run ($STAMP) to $HIST"
 
 echo
 echo "== micro_components (scheduler/packet hot paths) =="

@@ -12,6 +12,13 @@ cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
 
+# Same test suite under ASan+UBSan: the packet-pool / inline-callback /
+# trace-arena lifetime code is exactly what sanitizers are for.
+SAN_BUILD=build-asan
+cmake -B "$SAN_BUILD" -G Ninja -DEBLNET_SANITIZE=ON
+cmake --build "$SAN_BUILD"
+ctest --test-dir "$SAN_BUILD" --output-on-failure
+
 mkdir -p "$RESULTS"
 for bench in "$BUILD"/bench/*; do
   name=$(basename "$bench")

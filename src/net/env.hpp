@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "net/packet_pool.hpp"
 #include "net/trace_sink.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
@@ -30,6 +31,10 @@ class Env {
   /// (and compiles out entirely under EBLNET_METRICS_DISABLED).
   sim::MetricsRegistry& metrics() noexcept { return metrics_; }
   const sim::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Free-list of Packet storage for the broadcast fan-out and any
+  /// scheduled closure that would otherwise capture a Packet by value.
+  PacketPool& packet_pool() noexcept { return pool_; }
 
   std::uint64_t alloc_uid() noexcept { return next_uid_++; }
 
@@ -61,6 +66,10 @@ class Env {
   }
 
  private:
+  // The pool is declared before the scheduler so it is destroyed *after*
+  // it: pending events whose captures hold PooledPacket handles release
+  // them into a still-live pool during teardown.
+  PacketPool pool_;
   sim::Scheduler scheduler_;
   sim::Rng rng_;
   sim::MetricsRegistry metrics_;

@@ -1,5 +1,6 @@
 #include "net/packet.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace eblnet::net {
@@ -49,10 +50,13 @@ std::string Packet::describe() const {
   char buf[128];
   const NodeId src = ip ? ip->src : (mac ? mac->src : kBroadcastAddress);
   const NodeId dst = ip ? ip->dst : (mac ? mac->dst : kBroadcastAddress);
-  std::snprintf(buf, sizeof buf, "#%llu %s %zuB %u->%u seq=%llu",
-                static_cast<unsigned long long>(uid), to_string(type), size_bytes(), src, dst,
-                static_cast<unsigned long long>(app_seq));
-  return buf;
+  const int n = std::snprintf(buf, sizeof buf, "#%llu %s %zuB %u->%u seq=%llu",
+                              static_cast<unsigned long long>(uid), to_string(type), size_bytes(),
+                              src, dst, static_cast<unsigned long long>(app_seq));
+  // Construct once with the exact length (snprintf reports the untruncated
+  // length, so clamp to the buffer).
+  const std::size_t len = n < 0 ? 0 : std::min(static_cast<std::size_t>(n), sizeof buf - 1);
+  return std::string(buf, len);
 }
 
 }  // namespace eblnet::net

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <string>
+#include <string_view>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -19,6 +19,12 @@ const char* to_string(TraceLayer l) noexcept;
 /// One line of the simulation trace. The offline analyzers (one-way
 /// delay, drop accounting) consume these, mirroring how the paper parses
 /// the NS-2 trace file.
+///
+/// Trivially copyable by design: simulations emit millions of records,
+/// and trace::TraceStore keeps them in flat arena chunks. `reason` is a
+/// string_view because every producer passes a string literal (see
+/// Env::trace); parsed traces intern their reasons (trace_io). Anything
+/// stored here must outlive the record.
 struct TraceRecord {
   sim::Time t{};
   TraceAction action{TraceAction::kSend};
@@ -30,7 +36,7 @@ struct TraceRecord {
   NodeId ip_src{kBroadcastAddress};
   NodeId ip_dst{kBroadcastAddress};
   std::uint64_t app_seq{0};
-  std::string reason;  ///< drop reason ("IFQ", "RET", "TTL", ...); empty otherwise
+  std::string_view reason;  ///< drop reason ("IFQ", "RET", "TTL", ...); empty otherwise
 };
 
 /// Receives every trace record as it happens. Implemented by

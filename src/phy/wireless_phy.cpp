@@ -42,11 +42,11 @@ void WirelessPhy::transmit(net::Packet p, sim::Time duration) {
   ++tx_count_;
   env_.metrics().add(owner_, sim::Counter::kPhyTx);
   note_busy_until(tx_until_);
-  channel_.transmit(*this, p, duration);
+  channel_.transmit(*this, std::move(p), duration);
   update_carrier();
 }
 
-void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time duration) {
+void WirelessPhy::signal_start(net::PooledPacket p, double rx_power_w, sim::Time duration) {
   const sim::Time end = env_.now() + duration;
   note_busy_until(end);
 
@@ -66,7 +66,7 @@ void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time durat
       ++rx_collision_count_;
       env_.metrics().add(owner_, sim::Counter::kPhyRxCaptured);
       env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
-      env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "COL");
+      env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, *rx_packet_, "COL");
       rx_packet_ = std::move(p);
       rx_power_ = rx_power_w;
       rx_ok_ = true;
@@ -93,7 +93,11 @@ void WirelessPhy::signal_start(net::Packet p, double rx_power_w, sim::Time durat
 
 void WirelessPhy::finish_reception() {
   rx_active_ = false;
-  net::Packet p = std::move(rx_packet_);
+  // Take the pooled shell locally; the MAC-facing callback still receives
+  // a value Packet (moved out of the shell), so nothing above the phy
+  // needs to know about pooling. The shell returns to the pool at scope
+  // exit.
+  net::PooledPacket h = std::move(rx_packet_);
   const bool ok = rx_ok_;
   if (ok) {
     ++rx_ok_count_;
@@ -101,10 +105,10 @@ void WirelessPhy::finish_reception() {
   } else {
     ++rx_collision_count_;
     env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
-    env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, p, "COL");
+    env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, *h, "COL");
   }
   update_carrier();
-  if (rx_end_cb_) rx_end_cb_(std::move(p), ok);
+  if (rx_end_cb_) rx_end_cb_(std::move(*h), ok);
 }
 
 void WirelessPhy::abort_reception() {
@@ -113,7 +117,8 @@ void WirelessPhy::abort_reception() {
   ++rx_collision_count_;
   env_.metrics().add(owner_, sim::Counter::kPhyRxAbortedByTx);
   env_.metrics().add(owner_, sim::Counter::kPhyRxCollision);
-  env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, rx_packet_, "TXB");
+  env_.trace(net::TraceAction::kDrop, net::TraceLayer::kPhy, owner_, *rx_packet_, "TXB");
+  rx_packet_.reset();
 }
 
 void WirelessPhy::note_busy_until(sim::Time t) {
@@ -162,7 +167,11 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
   }
   for (std::size_t i = 0; i < scratch_.size(); ++i) {
     const Reachable& r = scratch_[i];
-    net::Packet copy = i + 1 < scratch_.size() ? p : std::move(p);
+    // Clone into the pool (last receiver adopts by move): the scheduled
+    // closure captures a 16-byte handle, which fits the scheduler's
+    // inline callback storage where a by-value Packet would not.
+    net::PooledPacket copy = i + 1 < scratch_.size() ? env_.packet_pool().clone(p)
+                                                     : env_.packet_pool().adopt(std::move(p));
     env_.scheduler().schedule_in(
         r.prop_delay, [rx = r.rx, copy = std::move(copy), power = r.power_w, duration]() mutable {
           rx->signal_start(std::move(copy), power, duration);

@@ -6,6 +6,7 @@
 #include "mobility/vec2.hpp"
 #include "net/env.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "phy/propagation.hpp"
 #include "sim/timer.hpp"
 
@@ -67,8 +68,10 @@ class WirelessPhy {
   // --- Channel-facing interface ---
 
   /// A signal from another phy starts arriving with the given received
-  /// power. Called by Channel (already above the CS threshold).
-  void signal_start(net::Packet p, double rx_power_w, sim::Time duration);
+  /// power. Called by Channel (already above the CS threshold). Takes a
+  /// pooled handle: signals that are never decoded (noise, collisions,
+  /// below RX threshold) return straight to the pool.
+  void signal_start(net::PooledPacket p, double rx_power_w, sim::Time duration);
 
   mobility::Vec2 position() const { return position_(); }
   net::NodeId owner() const noexcept { return owner_; }
@@ -106,7 +109,7 @@ class WirelessPhy {
   bool rx_active_{false};
   bool rx_ok_{false};
   double rx_power_{0.0};
-  net::Packet rx_packet_;
+  net::PooledPacket rx_packet_;
   sim::Timer rx_end_timer_;
   sim::Timer carrier_timer_;
 
@@ -130,9 +133,10 @@ class Channel {
   void attach(WirelessPhy* phy);
   void detach(WirelessPhy* phy);
 
-  /// Fan `p` out to every in-range receiver. Takes the packet by value:
-  /// the last receiver is handed the caller's packet by move, so a
-  /// broadcast with N listeners costs N-1 copies instead of N.
+  /// Fan `p` out to every in-range receiver. Each receiver's in-flight
+  /// copy is cloned into the Env's PacketPool (the last one adopts the
+  /// caller's packet by move), so a broadcast with N listeners performs
+  /// zero allocations once the pool is warm.
   void transmit(WirelessPhy& sender, net::Packet p, sim::Time duration);
 
   const PropagationModel& propagation() const noexcept { return *propagation_; }

@@ -4,7 +4,7 @@
 
 namespace eblnet::queue {
 
-DropTailQueue::DropTailQueue(std::size_t capacity) : capacity_{capacity} {
+DropTailQueue::DropTailQueue(std::size_t capacity) : capacity_{capacity}, q_{capacity} {
   if (capacity == 0) throw std::invalid_argument{"DropTailQueue: capacity must be > 0"};
 }
 
@@ -21,15 +21,7 @@ bool DropTailQueue::enqueue(net::Packet p) {
 
 std::optional<net::Packet> DropTailQueue::dequeue() {
   if (q_.empty()) return std::nullopt;
-  // GCC 12 flags the moved-from optional<vector> inside Packet as
-  // "maybe uninitialized" here; the deque element is always a fully
-  // constructed Packet (sanitizer-verified), so the diagnostic is a
-  // known false positive (GCC PR 105562 family).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-  net::Packet p = std::move(q_.front());
-#pragma GCC diagnostic pop
-  q_.pop_front();
+  net::Packet p = q_.pop_front();
   metric(sim::Counter::kIfqDequeued);
   return p;
 }
@@ -38,12 +30,13 @@ const net::Packet* DropTailQueue::peek() const { return q_.empty() ? nullptr : &
 
 std::vector<net::Packet> DropTailQueue::remove_by_next_hop(net::NodeId next_hop) {
   std::vector<net::Packet> removed;
-  for (auto it = q_.begin(); it != q_.end();) {
-    if (it->mac && it->mac->dst == next_hop) {
-      removed.push_back(std::move(*it));
-      it = q_.erase(it);
+  for (std::size_t i = 0; i < q_.size();) {
+    net::Packet& p = q_.at(i);
+    if (p.mac && p.mac->dst == next_hop) {
+      removed.push_back(std::move(p));
+      q_.erase(i);
     } else {
-      ++it;
+      ++i;
     }
   }
   metric(sim::Counter::kIfqRemoved, removed.size());
@@ -63,10 +56,10 @@ bool PriQueue::enqueue(net::Packet p) {
     // Priority arrivals displace the newest data packet rather than being
     // lost themselves (NS-2 PriQueue recv() head-inserts, then the tail
     // drop falls on the displaced packet).
-    for (auto it = q.rbegin(); it != q.rend(); ++it) {
-      if (!net::is_routing_control(it->type)) {
-        net::Packet victim = std::move(*it);
-        q.erase(std::next(it).base());
+    for (std::size_t i = q.size(); i-- > 0;) {
+      if (!net::is_routing_control(q.at(i).type)) {
+        net::Packet victim = std::move(q.at(i));
+        q.erase(i);
         q.push_front(std::move(p));
         metric(sim::Counter::kIfqEnqueued);
         metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q.size()));

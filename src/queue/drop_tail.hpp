@@ -1,8 +1,7 @@
 #pragma once
 
-#include <deque>
-
 #include "net/layers.hpp"
+#include "queue/packet_ring.hpp"
 
 namespace eblnet::queue {
 
@@ -25,11 +24,11 @@ class DropTailQueue : public net::PacketQueue {
 
  protected:
   void drop(net::Packet p, const char* reason);
-  std::deque<net::Packet>& packets() noexcept { return q_; }
+  PacketRing& packets() noexcept { return q_; }
 
  private:
   std::size_t capacity_;
-  std::deque<net::Packet> q_;
+  PacketRing q_;
   std::uint64_t drops_{0};
   DropCallback drop_cb_;
 };

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace eblnet::queue {
+
+/// Fixed-capacity ring of Packets backing the bounded interface queues.
+///
+/// `std::deque<net::Packet>` allocates and frees node blocks as the
+/// queue breathes (libstdc++ fits only ~2 Packets per 512-byte block),
+/// which keeps the allocator on the per-packet hot path. The ring
+/// allocates its slots once at construction; pushes move-assign into
+/// slots whose previous occupants' header vectors keep their capacity,
+/// so steady-state enqueue/dequeue touches no allocator.
+///
+/// Only what the queues need: push at either end, pop_front, indexed
+/// access and positional erase (for next-hop removal and PriQueue
+/// displacement). The caller enforces the capacity bound — every queue
+/// checks-and-drops before pushing.
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity) : slots_(capacity) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Element at logical position `i` (0 = front).
+  net::Packet& at(std::size_t i) noexcept { return slots_[index(i)]; }
+  const net::Packet& at(std::size_t i) const noexcept { return slots_[index(i)]; }
+  const net::Packet& front() const noexcept { return slots_[head_]; }
+
+  void push_back(net::Packet&& p) noexcept {
+    assert(size_ < slots_.size());
+    slots_[index(size_)] = std::move(p);
+    ++size_;
+  }
+
+  void push_front(net::Packet&& p) noexcept {
+    assert(size_ < slots_.size());
+    head_ = head_ == 0 ? slots_.size() - 1 : head_ - 1;
+    slots_[head_] = std::move(p);
+    ++size_;
+  }
+
+  net::Packet pop_front() noexcept {
+    assert(size_ > 0);
+    net::Packet p = std::move(slots_[head_]);
+    head_ = head_ + 1 == slots_.size() ? 0 : head_ + 1;
+    --size_;
+    return p;
+  }
+
+  /// Remove the element at logical position `i`, shifting later elements
+  /// forward (same cost shape as deque::erase).
+  void erase(std::size_t i) noexcept {
+    assert(i < size_);
+    for (std::size_t j = i + 1; j < size_; ++j) at(j - 1) = std::move(at(j));
+    --size_;
+  }
+
+ private:
+  std::size_t index(std::size_t i) const noexcept {
+    std::size_t k = head_ + i;
+    if (k >= slots_.size()) k -= slots_.size();
+    return k;
+  }
+
+  std::vector<net::Packet> slots_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace eblnet::queue

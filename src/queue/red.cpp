@@ -4,7 +4,8 @@
 
 namespace eblnet::queue {
 
-RedQueue::RedQueue(sim::Rng& rng, RedParams params) : rng_{rng}, params_{params} {
+RedQueue::RedQueue(sim::Rng& rng, RedParams params)
+    : rng_{rng}, params_{params}, q_{params.capacity} {
   if (params.capacity == 0) throw std::invalid_argument{"RedQueue: capacity must be > 0"};
   if (!(params.min_thresh < params.max_thresh))
     throw std::invalid_argument{"RedQueue: min_thresh must be below max_thresh"};
@@ -58,8 +59,7 @@ bool RedQueue::enqueue(net::Packet p) {
 
 std::optional<net::Packet> RedQueue::dequeue() {
   if (q_.empty()) return std::nullopt;
-  net::Packet p = std::move(q_.front());
-  q_.pop_front();
+  net::Packet p = q_.pop_front();
   metric(sim::Counter::kIfqDequeued);
   return p;
 }
@@ -68,12 +68,13 @@ const net::Packet* RedQueue::peek() const { return q_.empty() ? nullptr : &q_.fr
 
 std::vector<net::Packet> RedQueue::remove_by_next_hop(net::NodeId next_hop) {
   std::vector<net::Packet> removed;
-  for (auto it = q_.begin(); it != q_.end();) {
-    if (it->mac && it->mac->dst == next_hop) {
-      removed.push_back(std::move(*it));
-      it = q_.erase(it);
+  for (std::size_t i = 0; i < q_.size();) {
+    net::Packet& p = q_.at(i);
+    if (p.mac && p.mac->dst == next_hop) {
+      removed.push_back(std::move(p));
+      q_.erase(i);
     } else {
-      ++it;
+      ++i;
     }
   }
   metric(sim::Counter::kIfqRemoved, removed.size());

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <deque>
-
 #include "net/layers.hpp"
+#include "queue/packet_ring.hpp"
 #include "sim/rng.hpp"
 
 namespace eblnet::queue {
@@ -51,7 +50,7 @@ class RedQueue final : public net::PacketQueue {
 
   sim::Rng& rng_;
   RedParams params_;
-  std::deque<net::Packet> q_;
+  PacketRing q_;
   double avg_{0.0};
   std::uint64_t count_since_drop_{0};  ///< packets since the last early drop
   std::uint64_t early_drops_{0};

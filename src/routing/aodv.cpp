@@ -453,9 +453,13 @@ void Aodv::broadcast_jittered(net::Packet p) {
   p.mac->dst = net::kBroadcastAddress;
   const sim::Time jitter =
       env_.rng().uniform_time(sim::Time::zero(), params_.broadcast_jitter);
-  env_.scheduler().schedule_in(jitter, [this, p = std::move(p)]() mutable {
-    mac_->enqueue(std::move(p));
-  });
+  // Park the packet in the pool while it waits out the jitter: the
+  // capture is a 16-byte handle, not a by-value Packet.
+  env_.scheduler().schedule_in(
+      jitter, [this, h = env_.packet_pool().adopt(std::move(p))]() mutable {
+        mac_->enqueue(std::move(*h));
+        h.reset();
+      });
 }
 
 void Aodv::refresh_route(net::NodeId dst) {

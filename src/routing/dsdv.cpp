@@ -127,9 +127,13 @@ void Dsdv::broadcast_update(bool /*full*/) {
 
   const sim::Time jitter =
       env_.rng().uniform_time(sim::Time::zero(), params_.broadcast_jitter);
-  env_.scheduler().schedule_in(jitter, [this, p = std::move(p)]() mutable {
-    mac_->enqueue(std::move(p));
-  });
+  // Park the packet in the pool while it waits out the jitter: the
+  // capture is a 16-byte handle, not a by-value Packet.
+  env_.scheduler().schedule_in(
+      jitter, [this, h = env_.packet_pool().adopt(std::move(p))]() mutable {
+        mac_->enqueue(std::move(*h));
+        h.reset();
+      });
 }
 
 void Dsdv::handle_update(const net::Packet& p) {

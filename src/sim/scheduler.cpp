@@ -32,7 +32,8 @@ EventId Scheduler::schedule_at(Time at, Callback cb) {
   Slot& s = slots_[slot];
   s.in_use = true;
   s.cancelled = false;
-  heap_.push_back(Entry{at, next_seq_++, slot, std::move(cb)});
+  s.cb = std::move(cb);
+  heap_.push_back(Entry{at, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
   return make_id(slot, s.gen);
@@ -42,6 +43,9 @@ void Scheduler::cancel(EventId id) {
   Slot* s = const_cast<Slot*>(resolve(id));
   if (s == nullptr || s->cancelled) return;
   s->cancelled = true;
+  // Release the capture now (it may own pooled packets); the heap entry
+  // stays behind as a tombstone and is discarded when it reaches the top.
+  s->cb.reset();
   --live_;
 }
 
@@ -54,25 +58,30 @@ void Scheduler::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.in_use = false;
   s.cancelled = false;
+  s.cb.reset();
   ++s.gen;  // invalidate every EventId handed out for this occupancy
   free_slots_.push_back(slot);
 }
 
 Scheduler::Entry Scheduler::pop_top() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  Entry e = heap_.back();
   heap_.pop_back();
   return e;
 }
 
-bool Scheduler::pop_next(Entry& out) {
+bool Scheduler::pop_next(Entry& out, Callback& cb) {
   while (!heap_.empty()) {
     Entry e = pop_top();
     const bool alive = !slots_[e.slot].cancelled;
+    // Move the callback to the caller's storage before releasing: the
+    // callback may schedule new events, which can recycle (or grow) the
+    // slot table.
+    if (alive) cb = std::move(slots_[e.slot].cb);
     release_slot(e.slot);
     if (alive) {
       --live_;
-      out = std::move(e);
+      out = e;
       return true;
     }
   }
@@ -89,13 +98,14 @@ std::uint64_t Scheduler::run_until(Time until) {
       continue;
     }
     if (heap_.front().at > until) break;
-    Entry e = pop_top();
+    const Entry e = pop_top();
+    Callback cb = std::move(slots_[e.slot].cb);
     release_slot(e.slot);
     --live_;
     now_ = e.at;
     ++executed_;
     ++n;
-    e.cb();
+    cb();
   }
   if (now_ < until) now_ = until;
   return n;
@@ -104,12 +114,14 @@ std::uint64_t Scheduler::run_until(Time until) {
 std::uint64_t Scheduler::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   Entry e;
-  while (n < max_events && pop_next(e)) {
+  Callback cb;
+  while (n < max_events && pop_next(e, cb)) {
     assert(e.at >= now_);
     now_ = e.at;
     ++executed_;
     ++n;
-    e.cb();
+    cb();
+    cb.reset();
   }
   return n;
 }

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace eblnet::sim {
@@ -30,6 +30,15 @@ inline constexpr EventId kInvalidEventId = 0;
 /// reserved up front and recycled, so steady-state scheduling never
 /// allocates.
 ///
+/// Callbacks are `InlineFunction` (fixed inline storage, no heap
+/// fallback) and live in the slot table, not the heap: heap entries stay
+/// a flat 24 bytes through every sift, and a recycled slot reuses the
+/// same callback storage, so a steady-state schedule/fire cycle performs
+/// zero allocations. A closure that outgrows `kCallbackCapacity` is a
+/// compile error — capture a pooled handle (net::PacketPool) instead of
+/// a by-value packet, or raise the constant if the capture is genuinely
+/// irreducible.
+///
 /// Clock semantics: `run_until(until)` always leaves `now() == until`
 /// (unless the clock is already past it), even when no event fires at or
 /// before the bound — callers use it to advance the simulation in fixed
@@ -37,7 +46,12 @@ inline constexpr EventId kInvalidEventId = 0;
 /// Events exactly at `until` do fire (the bound is inclusive).
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget for scheduled closures. Sized for the largest
+  /// real closure on the hot path — the channel fan-out's
+  /// {phy*, PooledPacket, double, Time} capture — with headroom for a
+  /// test capturing a std::function or a handful of references.
+  static constexpr std::size_t kCallbackCapacity = 64;
+  using Callback = InlineFunction<kCallbackCapacity>;
 
   Scheduler();
   Scheduler(const Scheduler&) = delete;
@@ -81,7 +95,6 @@ class Scheduler {
     Time at;
     std::uint64_t seq;    ///< global FIFO tie-break (monotonic)
     std::uint32_t slot;   ///< index into slots_
-    Callback cb;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -91,11 +104,15 @@ class Scheduler {
 
   /// Liveness record for one in-flight event. The generation counter
   /// disambiguates recycled slots, so a stale EventId (fired, cancelled,
-  /// or cleared long ago) can never alias a newer event.
+  /// or cleared long ago) can never alias a newer event. The callback
+  /// lives here rather than in the heap entry: heap sifts move 24-byte
+  /// entries, and releasing a slot back to the free list reuses the same
+  /// inline callback storage for the next event.
   struct Slot {
     std::uint32_t gen{0};
     bool in_use{false};
     bool cancelled{false};
+    Callback cb;
   };
 
   static constexpr std::size_t kInitialHeapCapacity = 1024;
@@ -107,8 +124,9 @@ class Scheduler {
   const Slot* resolve(EventId id) const noexcept;
 
   void release_slot(std::uint32_t slot);
-  /// Pops the next live entry into `out`; false when the queue is empty.
-  bool pop_next(Entry& out);
+  /// Pops the next live entry into `out`, moving its callback out of the
+  /// slot into `cb` (the slot is released); false when the queue is empty.
+  bool pop_next(Entry& out, Callback& cb);
   /// Removes the heap top (cancelled entries included) into `out`.
   Entry pop_top();
 

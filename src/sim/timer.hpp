@@ -1,6 +1,5 @@
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "sim/scheduler.hpp"
@@ -15,15 +14,25 @@ namespace eblnet::sim {
 /// The owner must outlive any pending expiry: cancel in the owner's
 /// destructor (or let the Scheduler be destroyed first, which drops all
 /// events without running them).
+///
+/// The handler is stored once in an InlineFunction and *moved* to the
+/// stack around each invocation (then moved back), so an expiry performs
+/// no allocation — unlike the previous std::function copy-per-fire —
+/// while the handler remains free to destroy this Timer mid-call.
 class Timer {
  public:
-  Timer(Scheduler& sched, std::function<void()> on_expire)
+  using Callback = Scheduler::Callback;
+
+  Timer(Scheduler& sched, Callback on_expire)
       : sched_{&sched}, on_expire_{std::move(on_expire)} {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
-  ~Timer() { cancel(); }
+  ~Timer() {
+    cancel();
+    if (alive_flag_ != nullptr) *alive_flag_ = false;
+  }
 
   /// (Re)arm the timer to fire `delay` from now.
   void schedule_in(Time delay) { schedule_at(sched_->now() + delay); }
@@ -32,14 +41,7 @@ class Timer {
   void schedule_at(Time at) {
     cancel();
     expires_at_ = at;
-    id_ = sched_->schedule_at(at, [this] {
-      id_ = kInvalidEventId;
-      // Invoke a local copy: the expiry handler is allowed to destroy
-      // this Timer (e.g. a protocol erasing its own state machine), which
-      // would otherwise free the executing callable mid-call.
-      auto fn = on_expire_;
-      fn();
-    });
+    id_ = sched_->schedule_at(at, [this] { fire(); });
   }
 
   void cancel() {
@@ -55,10 +57,29 @@ class Timer {
   Time expires_at() const noexcept { return expires_at_; }
 
  private:
+  void fire() {
+    id_ = kInvalidEventId;
+    // Invoke via the stack: the expiry handler is allowed to destroy this
+    // Timer (e.g. a protocol erasing its own state machine), which would
+    // otherwise free the executing callable mid-call. The stack-local
+    // watches alive_flag_ to know whether `this` survived; only then is
+    // the handler moved back (re-arming from inside the handler is fine —
+    // schedule_at never touches on_expire_).
+    bool alive = true;
+    alive_flag_ = &alive;
+    Callback fn = std::move(on_expire_);
+    fn();
+    if (alive) {
+      on_expire_ = std::move(fn);
+      alive_flag_ = nullptr;
+    }
+  }
+
   Scheduler* sched_;
-  std::function<void()> on_expire_;
+  Callback on_expire_;
   EventId id_{kInvalidEventId};
   Time expires_at_{};
+  bool* alive_flag_ = nullptr;
 };
 
 }  // namespace eblnet::sim

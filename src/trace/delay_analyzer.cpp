@@ -15,7 +15,12 @@ using FlowSeq = std::tuple<net::NodeId, net::NodeId, std::uint64_t>;
 
 }  // namespace
 
-DelayAnalyzer::DelayAnalyzer(const std::vector<net::TraceRecord>& records) {
+DelayAnalyzer::DelayAnalyzer(const std::vector<net::TraceRecord>& records) { build(records); }
+
+DelayAnalyzer::DelayAnalyzer(const TraceStore& records) { build(records); }
+
+template <typename Records>
+void DelayAnalyzer::build(const Records& records) {
   struct Pending {
     sim::Time sent{};
     bool have_sent{false};

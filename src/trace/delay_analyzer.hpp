@@ -4,6 +4,7 @@
 
 #include "net/trace_sink.hpp"
 #include "stats/summary.hpp"
+#include "trace/trace_store.hpp"
 
 namespace eblnet::trace {
 
@@ -26,6 +27,7 @@ struct DelaySample {
 class DelayAnalyzer {
  public:
   explicit DelayAnalyzer(const std::vector<net::TraceRecord>& records);
+  explicit DelayAnalyzer(const TraceStore& records);
 
   /// Samples for one flow, ordered by packet id.
   std::vector<DelaySample> flow(net::NodeId src, net::NodeId dst) const;
@@ -47,6 +49,9 @@ class DelayAnalyzer {
   static double initial_packet_delay_seconds(const std::vector<DelaySample>& samples);
 
  private:
+  template <typename Records>
+  void build(const Records& records);  // defined in the .cpp; both ctors live there
+
   std::vector<DelaySample> samples_;
   std::uint64_t unmatched_{0};
 };

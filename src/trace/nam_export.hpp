@@ -5,6 +5,7 @@
 
 #include "mobility/mobility_model.hpp"
 #include "net/trace_sink.hpp"
+#include "trace/trace_store.hpp"
 
 namespace eblnet::trace {
 
@@ -31,5 +32,8 @@ void export_nam(std::ostream& os,
                 const std::vector<const mobility::MobilityModel*>& mobility,
                 const std::vector<net::TraceRecord>& records, sim::Time duration,
                 NamExportConfig config = {});
+void export_nam(std::ostream& os,
+                const std::vector<const mobility::MobilityModel*>& mobility,
+                const TraceStore& records, sim::Time duration, NamExportConfig config = {});
 
 }  // namespace eblnet::trace

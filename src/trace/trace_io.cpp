@@ -5,9 +5,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace eblnet::trace {
 namespace {
@@ -52,6 +54,19 @@ net::NodeId parse_addr(const std::string& s, std::size_t line) {
   }
 }
 
+/// TraceRecord.reason is a non-owning view (live simulations point it at
+/// string literals), so parsed reasons need storage that outlives the
+/// records: known reasons map to literals, anything else is kept in a
+/// process-lifetime set (std::set nodes never move, so the views stay
+/// stable as more reasons are added).
+std::string_view intern_reason(const std::string& s) {
+  for (const char* known : {"IFQ", "RET", "TTL", "COL", "TXB", "ARP", "NRTE", "NOPORT", "SIZE"}) {
+    if (s == known) return known;
+  }
+  static std::set<std::string> extra;
+  return *extra.insert(s).first;
+}
+
 }  // namespace
 
 std::string format_record(const net::TraceRecord& r) {
@@ -77,11 +92,19 @@ std::string format_record(const net::TraceRecord& r) {
   out += ' ';
   out += std::to_string(r.app_seq);
   out += ' ';
-  out += r.reason.empty() ? "-" : r.reason;
+  if (r.reason.empty()) {
+    out += '-';
+  } else {
+    out += r.reason;
+  }
   return out;
 }
 
 void write_trace(std::ostream& os, const std::vector<net::TraceRecord>& records) {
+  for (const auto& r : records) os << format_record(r) << '\n';
+}
+
+void write_trace(std::ostream& os, const TraceStore& records) {
   for (const auto& r : records) os << format_record(r) << '\n';
 }
 
@@ -129,8 +152,8 @@ std::vector<net::TraceRecord> parse_trace(std::istream& is) {
     r.ip_src = parse_addr(src_s, line_no);
     r.ip_dst = parse_addr(dst_s, line_no);
     r.app_seq = std::stoull(seq_s);
-    if (reason != "-") r.reason = reason;
-    out.push_back(std::move(r));
+    if (reason != "-") r.reason = intern_reason(reason);
+    out.push_back(r);
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/trace_sink.hpp"
+#include "trace/trace_store.hpp"
 
 namespace eblnet::trace {
 
@@ -17,12 +18,15 @@ namespace eblnet::trace {
 /// columns: action time _node_ layer uid type size ip_src ip_dst app_seq
 /// reason ("-" when empty; broadcast addresses print as "*").
 void write_trace(std::ostream& os, const std::vector<net::TraceRecord>& records);
+void write_trace(std::ostream& os, const TraceStore& records);
 
 /// One record as a single formatted line (no trailing newline).
 std::string format_record(const net::TraceRecord& r);
 
 /// Parse the format produced by write_trace. Throws std::runtime_error
-/// on malformed input (with the offending line number).
+/// on malformed input (with the offending line number). Reasons are
+/// interned in process-lifetime storage, so the returned records'
+/// `reason` views stay valid indefinitely.
 std::vector<net::TraceRecord> parse_trace(std::istream& is);
 
 /// A trace sink that streams records straight to a file instead of

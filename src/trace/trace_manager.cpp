@@ -10,7 +10,7 @@ std::size_t TraceManager::count(net::TraceAction action, net::TraceLayer layer) 
   return n;
 }
 
-std::vector<net::TraceRecord> TraceManager::drops(const std::string& reason) const {
+std::vector<net::TraceRecord> TraceManager::drops(std::string_view reason) const {
   std::vector<net::TraceRecord> out;
   for (const auto& r : records_) {
     if (r.action != net::TraceAction::kDrop) continue;

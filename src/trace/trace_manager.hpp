@@ -1,8 +1,10 @@
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "net/trace_sink.hpp"
+#include "trace/trace_store.hpp"
 
 namespace eblnet::trace {
 
@@ -10,11 +12,15 @@ namespace eblnet::trace {
 /// scenario; the offline analyzers (DelayAnalyzer, drop accounting)
 /// consume `records()` after the run, and trace_io can round-trip the
 /// records through the NS-2-like text format.
+///
+/// Records live in a chunked TraceStore arena, so recording is a bounded
+/// copy into preallocated storage — no vector-doubling copies of the
+/// whole history on long runs.
 class TraceManager final : public net::TraceSink {
  public:
   void record(const net::TraceRecord& r) override { records_.push_back(r); }
 
-  const std::vector<net::TraceRecord>& records() const noexcept { return records_; }
+  const TraceStore& records() const noexcept { return records_; }
   void clear() { records_.clear(); }
   std::size_t size() const noexcept { return records_.size(); }
 
@@ -22,11 +28,13 @@ class TraceManager final : public net::TraceSink {
   /// drop accounting).
   std::size_t count(net::TraceAction action, net::TraceLayer layer) const;
 
-  /// All drop records, optionally filtered by reason.
-  std::vector<net::TraceRecord> drops(const std::string& reason = {}) const;
+  /// All drop records, optionally filtered by reason. Takes a
+  /// string_view like the records store it, so a literal argument
+  /// builds no temporary std::string.
+  std::vector<net::TraceRecord> drops(std::string_view reason = {}) const;
 
  private:
-  std::vector<net::TraceRecord> records_;
+  TraceStore records_;
 };
 
 }  // namespace eblnet::trace

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "net/trace_sink.hpp"
+
+namespace eblnet::trace {
+
+/// Arena storage for trace records: fixed-size chunks, appended in place.
+///
+/// A long run emits millions of TraceRecords; a plain vector re-copies
+/// the entire history every time it doubles (and briefly holds 2x the
+/// memory). The arena appends into 4096-record chunks instead — a chunk
+/// is allocated once, records already written never move, and `clear()`
+/// keeps the chunks so a reused store appends allocation-free.
+///
+/// Only what the analyzers need: push_back, indexing, forward iteration.
+class TraceStore {
+ public:
+  static constexpr std::size_t kChunkRecords = 4096;  // power of two: index math is shift/mask
+
+  static_assert(std::is_trivially_copyable_v<net::TraceRecord>,
+                "TraceRecord must stay trivially copyable: the arena copies records "
+                "into raw chunk storage and never runs destructors on clear()");
+
+  TraceStore() = default;
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+  TraceStore(TraceStore&&) = default;
+  TraceStore& operator=(TraceStore&&) = default;
+
+  void push_back(const net::TraceRecord& r) {
+    if (size_ == chunks_.size() * kChunkRecords) {
+      chunks_.push_back(std::make_unique<net::TraceRecord[]>(kChunkRecords));
+    }
+    chunks_[size_ / kChunkRecords][size_ % kChunkRecords] = r;
+    ++size_;
+  }
+
+  const net::TraceRecord& operator[](std::size_t i) const noexcept {
+    return chunks_[i / kChunkRecords][i % kChunkRecords];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Forget every record but keep the chunks: a cleared store refills
+  /// without allocating.
+  void clear() noexcept { size_ = 0; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = net::TraceRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const net::TraceRecord*;
+    using reference = const net::TraceRecord&;
+
+    const_iterator() noexcept = default;
+    const_iterator(const TraceStore* store, std::size_t i) noexcept : store_{store}, i_{i} {}
+
+    reference operator*() const noexcept { return (*store_)[i_]; }
+    pointer operator->() const noexcept { return &(*store_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const const_iterator& o) const noexcept { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const noexcept { return i_ != o.i_; }
+
+   private:
+    const TraceStore* store_{nullptr};
+    std::size_t i_{0};
+  };
+
+  const_iterator begin() const noexcept { return {this, 0}; }
+  const_iterator end() const noexcept { return {this, size_}; }
+
+ private:
+  std::vector<std::unique_ptr<net::TraceRecord[]>> chunks_;
+  std::size_t size_{0};
+};
+
+}  // namespace eblnet::trace

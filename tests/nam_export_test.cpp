@@ -38,7 +38,7 @@ TEST(NamExportTest, EmitsHeaderAndInitialPositions) {
   mobility::StaticMobility a{{10.0, 20.0}};
   mobility::StaticMobility b{{30.0, 40.0}};
   std::ostringstream os;
-  export_nam(os, {&a, &b}, {}, 1_s);
+  export_nam(os, {&a, &b}, std::vector<net::TraceRecord>{}, 1_s);
   const std::string out = os.str();
   EXPECT_NE(out.find("V -t *"), std::string::npos);
   EXPECT_NE(out.find("n -t * -s 0 -x 10 -y 20"), std::string::npos);
@@ -48,7 +48,7 @@ TEST(NamExportTest, EmitsHeaderAndInitialPositions) {
 TEST(NamExportTest, StaticNodesGetNoMotionUpdates) {
   mobility::StaticMobility a{{0.0, 0.0}};
   std::ostringstream os;
-  export_nam(os, {&a}, {}, 5_s);
+  export_nam(os, {&a}, std::vector<net::TraceRecord>{}, 5_s);
   // Exactly one position line: the initial placement.
   EXPECT_EQ(count_lines_starting(os.str(), "n "), 1u);
 }
@@ -59,7 +59,7 @@ TEST(NamExportTest, MovingNodesAreResampled) {
   std::ostringstream os;
   NamExportConfig cfg;
   cfg.sample_interval = 1_s;
-  export_nam(os, {&m}, {}, 5_s, cfg);
+  export_nam(os, {&m}, std::vector<net::TraceRecord>{}, 5_s, cfg);
   // Initial placement + one update per elapsed second.
   EXPECT_EQ(count_lines_starting(os.str(), "n "), 1u + 5u);
   EXPECT_NE(os.str().find("-x 30"), std::string::npos);  // position at t=3
@@ -95,7 +95,7 @@ TEST(NamExportTest, NonMacNonDropRecordsFiltered) {
 TEST(NamExportTest, NullMobilityEntriesSkipped) {
   mobility::StaticMobility a{{1.0, 2.0}};
   std::ostringstream os;
-  export_nam(os, {nullptr, &a}, {}, 1_s);
+  export_nam(os, {nullptr, &a}, std::vector<net::TraceRecord>{}, 1_s);
   EXPECT_EQ(count_lines_starting(os.str(), "n "), 1u);
   EXPECT_NE(os.str().find("-s 1 "), std::string::npos);
 }

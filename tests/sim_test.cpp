@@ -242,6 +242,36 @@ TEST(SchedulerTest, HeavyChurnKeepsFifoOrderAndCounts) {
   EXPECT_EQ(s.executed_count(), 50u * 7u);
 }
 
+TEST(SchedulerTest, SameTimeFifoSurvivesSlotRecycling) {
+  // Fire a first batch so its slots land on the free list (popped LIFO:
+  // the recycled slot indices come back in REVERSE schedule order), then
+  // schedule a same-time batch into those recycled slots. FIFO must come
+  // from the sequence number, not from slot-index order.
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    s.schedule_at(1_s, [&order, i] { order.push_back(i); });
+  }
+  s.run_until(1_s);
+  ASSERT_EQ(order.size(), 6u);
+  order.clear();
+
+  for (int i = 0; i < 6; ++i) {
+    s.schedule_at(2_s, [&order, i] { order.push_back(i); });
+  }
+  // Cancel two mid-batch events and reschedule into the re-recycled
+  // slots, still at the same timestamp, to shuffle the slot table more.
+  const EventId c2 = s.schedule_at(2_s, [] { FAIL(); });
+  const EventId c3 = s.schedule_at(2_s, [] { FAIL(); });
+  s.cancel(c2);
+  s.cancel(c3);
+  for (int i = 6; i < 10; ++i) {
+    s.schedule_at(2_s, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
 // ---------------------------------------------------------------------------
 // Timer
 // ---------------------------------------------------------------------------

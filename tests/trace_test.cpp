@@ -2,11 +2,13 @@
 
 #include <fstream>
 #include <sstream>
+#include <type_traits>
 
 #include "trace/delay_analyzer.hpp"
 #include "trace/throughput_monitor.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_manager.hpp"
+#include "trace/trace_store.hpp"
 
 namespace eblnet::trace {
 namespace {
@@ -14,10 +16,12 @@ namespace {
 using sim::Time;
 using namespace sim::time_literals;
 
+// `reason` must be a string literal (or otherwise outlive the record):
+// TraceRecord stores a non-owning view.
 net::TraceRecord make_record(double t, net::TraceAction action, net::TraceLayer layer,
                              net::NodeId node, net::NodeId src, net::NodeId dst,
                              std::uint64_t seq, net::PacketType type = net::PacketType::kTcpData,
-                             std::string reason = {}) {
+                             const char* reason = "") {
   net::TraceRecord r;
   r.t = Time::seconds(t);
   r.action = action;
@@ -29,7 +33,7 @@ net::TraceRecord make_record(double t, net::TraceAction action, net::TraceLayer 
   r.ip_src = src;
   r.ip_dst = dst;
   r.app_seq = seq;
-  r.reason = std::move(reason);
+  r.reason = reason;
   return r;
 }
 
@@ -52,6 +56,57 @@ TEST(TraceManagerTest, CountsAndDrops) {
   EXPECT_EQ(m.drops("XYZ").size(), 0u);
   m.clear();
   EXPECT_EQ(m.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStore
+// ---------------------------------------------------------------------------
+
+// The arena copies records into raw chunk storage; memcpy-ability is the
+// contract the whole trace hot path rests on.
+static_assert(std::is_trivially_copyable_v<net::TraceRecord>,
+              "TraceRecord must be trivially copyable");
+
+TEST(TraceStoreTest, PushBackCrossesChunkBoundaries) {
+  TraceStore store;
+  const std::size_t n = TraceStore::kChunkRecords * 2 + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::TraceRecord r = make_record(0.001 * static_cast<double>(i), net::TraceAction::kSend,
+                                     net::TraceLayer::kAgent, 0, 0, 1, i);
+    store.push_back(r);
+  }
+  ASSERT_EQ(store.size(), n);
+  // Spot-check both sides of each chunk boundary plus the extremes.
+  EXPECT_EQ(store[0].app_seq, 0u);
+  EXPECT_EQ(store[TraceStore::kChunkRecords - 1].app_seq, TraceStore::kChunkRecords - 1);
+  EXPECT_EQ(store[TraceStore::kChunkRecords].app_seq, TraceStore::kChunkRecords);
+  EXPECT_EQ(store[2 * TraceStore::kChunkRecords].app_seq, 2 * TraceStore::kChunkRecords);
+  EXPECT_EQ(store[n - 1].app_seq, n - 1);
+
+  // Forward iteration visits every record in order.
+  std::size_t expect = 0;
+  for (const net::TraceRecord& r : store) {
+    ASSERT_EQ(r.app_seq, expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(TraceStoreTest, ClearKeepsStorageAndRefills) {
+  TraceStore store;
+  for (std::size_t i = 0; i < TraceStore::kChunkRecords + 5; ++i) {
+    store.push_back(make_record(1.0, net::TraceAction::kSend, net::TraceLayer::kAgent, 0, 0, 1, i));
+  }
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.begin(), store.end());
+
+  store.push_back(make_record(2.0, net::TraceAction::kDrop, net::TraceLayer::kIfq, 3, 0, 1, 42,
+                              net::PacketType::kTcpData, "IFQ"));
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_EQ(store[0].app_seq, 42u);
+  EXPECT_EQ(store[0].reason, "IFQ");
 }
 
 // ---------------------------------------------------------------------------
