@@ -1,9 +1,13 @@
 // Ablation: platoon size (the paper's stated future work — "a larger and
 // more complex vehicular configuration"). Scales both platoons from 2 to
-// 8 vehicles. The lead fans out one TCP stream per follower, so offered
+// 32 vehicles. The lead fans out one TCP stream per follower, so offered
 // load grows linearly; under TDMA the lead still owns a single slot per
 // frame, so per-follower service (and delay) degrades with size, while
-// 802.11 absorbs the load until the channel saturates.
+// 802.11 absorbs the load until the channel saturates. The 16/32-vehicle
+// points cross the channel's spatial-grid threshold (ChannelParams
+// ::grid_min_phys = 16, i.e. 2x8 vehicles and up), so the sweep also
+// exercises the grid against the paper's calibrated geometry.
+// bench/perf_scale.cpp carries the scaling story to N = 1000.
 
 #include <iomanip>
 #include <iostream>
@@ -20,7 +24,7 @@ int main(int argc, char** argv) {
   const bench::Options opts = bench::Options::parse(argc, argv);
   std::vector<core::ScenarioConfig> configs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
-    for (const std::size_t size : {2, 3, 5, 8}) {
+    for (const std::size_t size : {2, 3, 5, 8, 16, 32}) {
       configs.push_back(core::ScenarioBuilder::trial(1000, mac)
                             .platoon_size(size)
                             .duration(sim::Time::seconds(std::int64_t{32}))

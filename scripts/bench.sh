@@ -1,15 +1,22 @@
 #!/usr/bin/env sh
 # Timing runs: build Release (-O2 -DNDEBUG) into its own build dir, then
-# run the parallel-sweep harness and the scheduler/packet
-# micro-benchmarks. Debug or RelWithDebInfo numbers are not comparable;
-# this script exists so every recorded number comes from the same
-# optimized configuration.
+# run the timing harnesses and the component micro-benchmarks. Debug or
+# RelWithDebInfo numbers are not comparable; this script exists so every
+# recorded number comes from the same optimized configuration.
 #
-# Each sweep run is APPENDED to the BENCH_sweep.json history array (the
+# Modes:
+#   bench.sh           parallel-sweep harness (perf_sweep) + scheduler/
+#                      packet micro-benchmarks
+#   bench.sh --scale   large-N spatial-grid harness (perf_scale, including
+#                      the N = 1000 acceptance point) + channel-broadcast
+#                      micro-benchmark
+#
+# Each harness run is APPENDED to the BENCH_sweep.json history array (the
 # shell stamps it with the run date — the C++ harness stays
 # deterministic), so the perf trajectory across PRs stays visible in one
-# file. A legacy single-object BENCH_sweep.json is wrapped into a
-# one-entry array on first contact.
+# file. Entries are distinguished by their "kind" field ("eblnet.perf"
+# vs "eblnet.perf_scale"). A legacy single-object BENCH_sweep.json is
+# wrapped into a one-entry array on first contact.
 #
 # EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
 set -eu
@@ -18,13 +25,22 @@ cd "$(dirname "$0")/.."
 BUILD=build-release
 HIST=BENCH_sweep.json
 
+MODE=sweep
+[ "${1:-}" = "--scale" ] && MODE=scale
+
 cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD"
 
-echo "== perf_sweep (serial vs parallel confidence sweep) =="
 RUN=$(mktemp)
 trap 'rm -f "$RUN"' EXIT
-"$BUILD"/bench/perf_sweep --json "$RUN"
+
+if [ "$MODE" = "scale" ]; then
+  echo "== perf_scale (spatial-grid channel vs flat broadcast loop) =="
+  "$BUILD"/bench/perf_scale full --json "$RUN"
+else
+  echo "== perf_sweep (serial vs parallel confidence sweep) =="
+  "$BUILD"/bench/perf_sweep --json "$RUN"
+fi
 
 # Migrate a pre-history file (one bare object) into a one-entry array.
 if [ -f "$HIST" ] && [ "$(head -c1 "$HIST")" = "{" ]; then
@@ -47,6 +63,12 @@ printf ']\n' >> "$HIST"
 echo "appended run ($STAMP) to $HIST"
 
 echo
-echo "== micro_components (scheduler/packet hot paths) =="
-"$BUILD"/bench/micro_components --benchmark_filter='Scheduler|Packet' \
-    --benchmark_min_time=0.2
+if [ "$MODE" = "scale" ]; then
+  echo "== micro_components (channel broadcast hot path) =="
+  "$BUILD"/bench/micro_components --benchmark_filter='Channel' \
+      --benchmark_min_time=0.2
+else
+  echo "== micro_components (scheduler/packet hot paths) =="
+  "$BUILD"/bench/micro_components --benchmark_filter='Scheduler|Packet' \
+      --benchmark_min_time=0.2
+fi

@@ -158,6 +158,7 @@ void write_config(JsonWriter& w, const ScenarioConfig& cfg) {
   w.field("packet_bytes", static_cast<std::uint64_t>(cfg.packet_bytes));
   w.field("mac", to_string(cfg.mac));
   w.field("routing", to_string(cfg.routing));
+  w.field("propagation", to_string(cfg.propagation));
   w.field("use_arp", cfg.use_arp);
   w.field("use_red_queue", cfg.use_red_queue);
   w.field("platoon_size", static_cast<std::uint64_t>(cfg.platoon_size));

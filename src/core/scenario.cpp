@@ -24,6 +24,14 @@ const char* to_string(RoutingType r) noexcept {
   return "?";
 }
 
+const char* to_string(PropagationType p) noexcept {
+  switch (p) {
+    case PropagationType::kTwoRay: return "two-ray";
+    case PropagationType::kNakagami: return "nakagami";
+  }
+  return "?";
+}
+
 routing::Aodv& EblScenario::aodv(std::size_t i) {
   if (config_.routing != RoutingType::kAodv)
     throw std::logic_error{"EblScenario: scenario is not running AODV"};
@@ -35,8 +43,12 @@ EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, en
     throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
   if (config_.enable_trace) env_.set_trace_sink(&trace_);
   env_.metrics().set_enabled(config_.enable_metrics);
-  propagation_ = std::make_shared<phy::TwoRayGround>();
-  channel_ = std::make_unique<phy::Channel>(env_, propagation_);
+  if (config_.propagation == PropagationType::kNakagami) {
+    propagation_ = std::make_shared<phy::NakagamiFading>(config_.nakagami_m, env_.rng());
+  } else {
+    propagation_ = std::make_shared<phy::TwoRayGround>();
+  }
+  channel_ = std::make_unique<phy::Channel>(env_, propagation_, config_.channel);
   build_mobility();
   build_nodes();
   build_traffic();

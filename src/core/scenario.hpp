@@ -25,8 +25,14 @@ enum class MacType : std::uint8_t { kTdma, k80211 };
 /// pre-installed static routes are comparison baselines.
 enum class RoutingType : std::uint8_t { kAodv, kDsdv, kStatic };
 
+/// Channel model: two-ray ground is the paper's (and NS-2's) default;
+/// Nakagami-m fast fading on top of two-ray is the de facto VANET
+/// channel in later literature, offered for sensitivity/scaling studies.
+enum class PropagationType : std::uint8_t { kTwoRay, kNakagami };
+
 const char* to_string(MacType m) noexcept;
 const char* to_string(RoutingType r) noexcept;
+const char* to_string(PropagationType p) noexcept;
 
 /// Full configuration of the paper's two-platoon intersection scenario.
 /// Defaults reproduce trial 1 (1000-byte packets over TDMA).
@@ -80,6 +86,15 @@ struct ScenarioConfig {
   mac::Mac80211Params mac80211{};
   mac::TdmaParams tdma{};
   phy::PhyParams phy{};
+  /// Radio channel model. The paper's trials use two-ray ground;
+  /// kNakagami layers gamma-distributed fast fading (shape nakagami_m,
+  /// drawn from the scenario's seeded Rng) on top of it.
+  PropagationType propagation{PropagationType::kTwoRay};
+  double nakagami_m{3.0};
+  /// Broadcast-delivery tuning: spatial-grid threshold and re-bucketing
+  /// bounds (the defaults keep the paper's 6-vehicle trials on the flat
+  /// loop and switch large populations to the grid).
+  phy::ChannelParams channel{};
   routing::AodvParams aodv{};
   routing::DsdvParams dsdv{};
   sim::Time throughput_sample_interval{sim::Time::milliseconds(100)};
@@ -115,6 +130,7 @@ class EblScenario {
   // --- access for analysis ---
   const ScenarioConfig& config() const noexcept { return config_; }
   net::Env& env() noexcept { return env_; }
+  phy::Channel& channel() noexcept { return *channel_; }
   const trace::TraceManager& trace() const noexcept { return trace_; }
 
   net::Node& node(std::size_t i) { return *nodes_.at(i); }

@@ -82,6 +82,13 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- channel / phy ---
+  /// Broadcast-delivery tuning (spatial-grid threshold, re-bucket bounds).
+  ScenarioBuilder& channel_params(const phy::ChannelParams& p) {
+    config_.channel = p;
+    return *this;
+  }
+
   // --- observability ---
   /// Enable the per-layer metrics registry (JSON manifests need this).
   ScenarioBuilder& metrics(bool on = true) {

@@ -10,17 +10,26 @@ constexpr double kSpeedOfLight = 299'792'458.0;
 }
 
 double PropagationModel::range_for_threshold(double tx_power_w, double threshold_w) const {
+  for (const RangeCacheEntry& e : range_cache_) {
+    if (e.tx_power_w == tx_power_w && e.threshold_w == threshold_w) return e.range_m;
+  }
   double lo = 0.1, hi = 1.0;
-  while (rx_power(tx_power_w, hi) > threshold_w && hi < 1e7) hi *= 2.0;
+  while (envelope_rx_power(tx_power_w, hi) > threshold_w && hi < 1e7) hi *= 2.0;
   for (int i = 0; i < 200; ++i) {
     const double mid = 0.5 * (lo + hi);
-    if (rx_power(tx_power_w, mid) > threshold_w) {
+    if (envelope_rx_power(tx_power_w, mid) > threshold_w) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  return 0.5 * (lo + hi);
+  const double range = 0.5 * (lo + hi);
+  // A simulation sees a handful of distinct (power, threshold) pairs; the
+  // bound only guards against a pathological caller generating fresh pairs
+  // forever.
+  if (range_cache_.size() >= 64) range_cache_.clear();
+  range_cache_.push_back({tx_power_w, threshold_w, range});
+  return range;
 }
 
 FreeSpace::FreeSpace(double frequency_hz, double gt, double gr, double loss)
@@ -47,9 +56,10 @@ double TwoRayGround::rx_power(double tx_power_w, double distance_m) const {
 }
 
 NakagamiFading::NakagamiFading(double m, sim::Rng& rng, double frequency_hz, double ht,
-                               double hr)
-    : mean_model_{frequency_hz, ht, hr}, m_{m}, rng_{rng} {
+                               double hr, double fade_margin)
+    : mean_model_{frequency_hz, ht, hr}, m_{m}, rng_{rng}, fade_margin_{fade_margin} {
   if (m < 0.5) throw std::invalid_argument{"NakagamiFading: m must be >= 0.5"};
+  if (fade_margin < 1.0) throw std::invalid_argument{"NakagamiFading: fade margin must be >= 1"};
 }
 
 double NakagamiFading::gamma_sample() const {
@@ -81,6 +91,10 @@ double NakagamiFading::rx_power(double tx_power_w, double distance_m) const {
   return gamma_sample() * mean / m_;
 }
 
+double NakagamiFading::envelope_rx_power(double tx_power_w, double distance_m) const {
+  return fade_margin_ * mean_model_.rx_power(tx_power_w, distance_m);
+}
+
 LogDistanceShadowing::LogDistanceShadowing(double exponent, double sigma_db,
                                            double ref_distance_m, double frequency_hz,
                                            sim::Rng* rng)
@@ -90,12 +104,24 @@ LogDistanceShadowing::LogDistanceShadowing(double exponent, double sigma_db,
     throw std::invalid_argument{"LogDistanceShadowing: reference distance must be > 0"};
 }
 
-double LogDistanceShadowing::rx_power(double tx_power_w, double distance_m) const {
+double LogDistanceShadowing::median_rx_power(double tx_power_w, double distance_m) const {
   if (distance_m <= d0_) return friis_.rx_power(tx_power_w, distance_m);
   const double pr0 = friis_.rx_power(tx_power_w, d0_);
-  double pr = pr0 * std::pow(distance_m / d0_, -beta_);
-  if (rng_ != nullptr && sigma_db_ > 0.0) {
+  return pr0 * std::pow(distance_m / d0_, -beta_);
+}
+
+double LogDistanceShadowing::rx_power(double tx_power_w, double distance_m) const {
+  double pr = median_rx_power(tx_power_w, distance_m);
+  if (distance_m > d0_ && rng_ != nullptr && sigma_db_ > 0.0) {
     pr *= std::pow(10.0, rng_->normal(0.0, sigma_db_) / 10.0);
+  }
+  return pr;
+}
+
+double LogDistanceShadowing::envelope_rx_power(double tx_power_w, double distance_m) const {
+  double pr = median_rx_power(tx_power_w, distance_m);
+  if (rng_ != nullptr && sigma_db_ > 0.0) {
+    pr *= std::pow(10.0, 3.0 * sigma_db_ / 10.0);  // +3 sigma shadowing headroom
   }
   return pr;
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "sim/rng.hpp"
 
@@ -13,12 +14,34 @@ class PropagationModel {
   virtual ~PropagationModel() = default;
 
   /// Received power in watts at `distance_m` metres for `tx_power_w`
-  /// watts transmitted. `distance_m` may be 0 (co-located).
+  /// watts transmitted. `distance_m` may be 0 (co-located). May draw from
+  /// an Rng stream (fading/shadowing models).
   virtual double rx_power(double tx_power_w, double distance_m) const = 0;
 
-  /// Distance at which rx_power drops to `threshold_w` (bisection over a
-  /// monotone envelope); used by tests and range planning.
+  /// Deterministic, monotone-in-distance envelope of rx_power, used for
+  /// range planning and the channel's spatial-grid culling. For
+  /// deterministic models this IS rx_power; random models (Nakagami,
+  /// shadowing) return their mean/median power boosted by a fade margin
+  /// and never consume the Rng stream.
+  virtual double envelope_rx_power(double tx_power_w, double distance_m) const {
+    return rx_power(tx_power_w, distance_m);
+  }
+
+  /// Distance at which the envelope drops to `threshold_w` (bisection over
+  /// the monotone envelope); used by tests, range planning and the spatial
+  /// grid's cell sizing. Results are memoised per (tx_power, threshold)
+  /// pair — the bisection runs once per distinct pair, not per call. The
+  /// cache makes this method non-thread-safe; models are per-simulation
+  /// objects (one Env, one model), never shared across runner threads.
   double range_for_threshold(double tx_power_w, double threshold_w) const;
+
+ private:
+  struct RangeCacheEntry {
+    double tx_power_w;
+    double threshold_w;
+    double range_m;
+  };
+  mutable std::vector<RangeCacheEntry> range_cache_;
 };
 
 /// Friis free-space model: Pr = Pt Gt Gr lambda^2 / ((4 pi d)^2 L).
@@ -59,9 +82,16 @@ class TwoRayGround : public PropagationModel {
 /// threshold model alone cannot express.
 class NakagamiFading : public PropagationModel {
  public:
+  /// `fade_margin` scales the deterministic envelope above the mean power
+  /// (10 = +10 dB: a fade drawing more than 10x the mean is rarer than
+  /// ~5e-5 even at m = 1). Only range planning / grid culling sees it.
   NakagamiFading(double m, sim::Rng& rng, double frequency_hz = 914e6, double ht = 1.5,
-                 double hr = 1.5);
+                 double hr = 1.5, double fade_margin = 10.0);
   double rx_power(double tx_power_w, double distance_m) const override;
+
+  /// Mean (two-ray) power times the fade margin — never a faded draw, so
+  /// culling against it is purely geometric and leaves the Rng untouched.
+  double envelope_rx_power(double tx_power_w, double distance_m) const override;
 
   double m() const noexcept { return m_; }
 
@@ -71,6 +101,7 @@ class NakagamiFading : public PropagationModel {
   TwoRayGround mean_model_;
   double m_;
   sim::Rng& rng_;
+  double fade_margin_;
 };
 
 /// Log-distance path loss with optional log-normal shadowing (deterministic
@@ -82,7 +113,13 @@ class LogDistanceShadowing : public PropagationModel {
                        double frequency_hz = 914e6, sim::Rng* rng = nullptr);
   double rx_power(double tx_power_w, double distance_m) const override;
 
+  /// Median (unshadowed) power boosted by +3 sigma of shadowing; draws
+  /// nothing from the Rng.
+  double envelope_rx_power(double tx_power_w, double distance_m) const override;
+
  private:
+  double median_rx_power(double tx_power_w, double distance_m) const;
+
   FreeSpace friis_;
   double beta_;
   double sigma_db_;

@@ -1,0 +1,75 @@
+#include "phy/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/wireless_phy.hpp"
+
+namespace eblnet::phy {
+
+SpatialGrid::SpatialGrid(double cell_size_m) { reset(cell_size_m); }
+
+void SpatialGrid::reset(double cell_size_m) {
+  if (!(cell_size_m > 0.0)) throw std::invalid_argument{"SpatialGrid: cell size must be > 0"};
+  for (auto& [k, bucket] : cells_) bucket.clear();
+  size_ = 0;
+  cell_ = cell_size_m;
+  inv_cell_ = 1.0 / cell_size_m;
+}
+
+std::int32_t SpatialGrid::coord(double v) const noexcept {
+  return static_cast<std::int32_t>(std::floor(v * inv_cell_));
+}
+
+void SpatialGrid::insert(WirelessPhy* phy, mobility::Vec2 pos) {
+  phy->grid_cx_ = coord(pos.x);
+  phy->grid_cy_ = coord(pos.y);
+  phy->grid_bucketed_ = true;
+  cells_[key(phy->grid_cx_, phy->grid_cy_)].push_back(phy);
+  ++size_;
+}
+
+void SpatialGrid::remove(WirelessPhy* phy) {
+  if (!phy->grid_bucketed_) return;
+  Bucket& bucket = cells_.at(key(phy->grid_cx_, phy->grid_cy_));
+  const auto it = std::find(bucket.begin(), bucket.end(), phy);
+  // Swap-remove: in-bucket order is irrelevant, collect() sorts by attach
+  // sequence.
+  *it = bucket.back();
+  bucket.pop_back();
+  phy->grid_bucketed_ = false;
+  --size_;
+}
+
+void SpatialGrid::update(WirelessPhy* phy, mobility::Vec2 pos) {
+  const std::int32_t cx = coord(pos.x);
+  const std::int32_t cy = coord(pos.y);
+  if (phy->grid_bucketed_ && cx == phy->grid_cx_ && cy == phy->grid_cy_) return;
+  remove(phy);
+  phy->grid_cx_ = cx;
+  phy->grid_cy_ = cy;
+  phy->grid_bucketed_ = true;
+  cells_[key(cx, cy)].push_back(phy);
+  ++size_;
+}
+
+void SpatialGrid::collect(mobility::Vec2 center, double radius_m,
+                          std::vector<WirelessPhy*>& out) const {
+  out.clear();
+  const std::int32_t cx = coord(center.x);
+  const std::int32_t cy = coord(center.y);
+  const auto span = static_cast<std::int32_t>(std::ceil(radius_m * inv_cell_));
+  for (std::int32_t dx = -span; dx <= span; ++dx) {
+    for (std::int32_t dy = -span; dy <= span; ++dy) {
+      const auto it = cells_.find(key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const WirelessPhy* a, const WirelessPhy* b) {
+    return a->attach_seq_ < b->attach_seq_;
+  });
+}
+
+}  // namespace eblnet::phy

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+
+namespace eblnet::phy {
+
+class WirelessPhy;
+
+/// Uniform hash grid over phy positions — the channel's broadcast
+/// candidate index. Cells are square, keyed by floor(pos / cell), and
+/// sized by the channel to the maximum interference range plus a mobility
+/// slack, so a query only ever scans the 3x3 cell neighbourhood around
+/// the sender.
+///
+/// The grid stores its per-phy bookkeeping (cached cell, attach sequence)
+/// inside WirelessPhy itself, so insert/update/remove are side-table-free.
+/// `collect` returns candidates **sorted by attach sequence**: iteration
+/// order is exactly the flat attach-order loop restricted to the cell
+/// neighbourhood, which is what keeps grid and flat delivery bit-identical
+/// for deterministic propagation models.
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cell_size_m = 1.0);
+
+  double cell_size() const noexcept { return cell_; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Drop every bucketed phy and adopt a new cell size (the channel
+  /// rebuilds after the interference range grows).
+  void reset(double cell_size_m);
+
+  void insert(WirelessPhy* phy, mobility::Vec2 pos);
+  void remove(WirelessPhy* phy);
+  /// Re-bucket `phy` if it crossed a cell boundary since it was last
+  /// inserted/updated; a no-op (two multiplies and a compare) otherwise.
+  void update(WirelessPhy* phy, mobility::Vec2 pos);
+
+  /// Clear `out` and append every phy bucketed in a cell overlapping the
+  /// disc (`center`, `radius_m`) — a superset of the phys actually within
+  /// `radius_m` — sorted by attach sequence.
+  void collect(mobility::Vec2 center, double radius_m, std::vector<WirelessPhy*>& out) const;
+
+ private:
+  using Bucket = std::vector<WirelessPhy*>;
+
+  static std::uint64_t key(std::int32_t cx, std::int32_t cy) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  std::int32_t coord(double v) const noexcept;
+
+  double cell_;
+  double inv_cell_;
+  std::size_t size_{0};
+  /// Emptied buckets keep their map slot (and vector capacity): vehicles
+  /// sweep through a bounded strip of cells, so the map stays small and
+  /// steady-state queries allocate nothing.
+  std::unordered_map<std::uint64_t, Bucket> cells_;
+};
+
+}  // namespace eblnet::phy

@@ -140,31 +140,119 @@ void WirelessPhy::update_carrier() {
   }
 }
 
-Channel::Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation)
-    : env_{env}, propagation_{std::move(propagation)} {
+Channel::Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation,
+                 ChannelParams params)
+    : env_{env}, propagation_{std::move(propagation)}, params_{params} {
   if (!propagation_) throw std::invalid_argument{"Channel: propagation model required"};
+  if (!(params_.grid_max_speed_mps >= 0.0))
+    throw std::invalid_argument{"Channel: grid max speed must be >= 0"};
+  if (params_.grid_rebucket_period < sim::Time::zero())
+    throw std::invalid_argument{"Channel: grid re-bucket period must be >= 0"};
 }
 
 void Channel::attach(WirelessPhy* phy) {
   if (phy == nullptr) throw std::invalid_argument{"Channel: null phy"};
   phys_.push_back(phy);
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(nullptr);
+    generations_.push_back(0);
+  }
+  slots_[slot] = phy;
+  ++generations_[slot];  // in-flight deliveries to the slot's previous occupant die
+  phy->chan_slot_ = slot;
+  phy->attach_seq_ = next_attach_seq_++;
+  phy->grid_bucketed_ = false;
+
+  // The interference range only ever grows under the conservative
+  // extremes; a grown range needs larger cells, i.e. a grid rebuild.
+  if (phy->params().tx_power_w > max_tx_power_w_) {
+    max_tx_power_w_ = phy->params().tx_power_w;
+    range_dirty_ = true;
+  }
+  if (phy->params().cs_threshold_w < min_cs_threshold_w_) {
+    min_cs_threshold_w_ = phy->params().cs_threshold_w;
+    range_dirty_ = true;
+  }
+  if (grid_built_ && !range_dirty_) grid_.insert(phy, phy->position());
 }
 
 void Channel::detach(WirelessPhy* phy) {
   std::erase(phys_, phy);
+  if (grid_built_) grid_.remove(phy);
+  slots_[phy->chan_slot_] = nullptr;
+  free_slots_.push_back(phy->chan_slot_);
+  // max_tx_power_w_ / min_cs_threshold_w_ stay as-is: conservative
+  // extremes only widen the candidate neighbourhood, never miss a phy.
+}
+
+double Channel::query_radius() const noexcept {
+  // Bucketed positions are at most grid_rebucket_period old, so the
+  // farthest an in-range phy's bucket can sit from its true position is
+  // the mobility slack; the epsilon absorbs range_for_threshold's
+  // bisection rounding at the exact threshold distance.
+  const double slack =
+      params_.grid_max_speed_mps * params_.grid_rebucket_period.to_seconds() + 1e-6;
+  return interference_range_m_ + slack;
+}
+
+void Channel::rebuild_grid() {
+  interference_range_m_ =
+      propagation_->range_for_threshold(max_tx_power_w_, min_cs_threshold_w_);
+  range_dirty_ = false;
+  // Cell size == query radius: a query never scans beyond the 3x3
+  // neighbourhood of the sender's cell.
+  grid_.reset(query_radius());
+  for (WirelessPhy* phy : phys_) grid_.insert(phy, phy->position());
+  grid_built_ = true;
+  last_rebucket_ = env_.now();
+}
+
+void Channel::rebucket_all() {
+  for (WirelessPhy* phy : phys_) grid_.update(phy, phy->position());
+  last_rebucket_ = env_.now();
+  ++grid_rebucket_count_;
 }
 
 void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
+  ++broadcast_count_;
   const mobility::Vec2 from = sender.position();
+  const double tx_power = sender.params().tx_power_w;
   scratch_.clear();
-  for (WirelessPhy* rx : phys_) {
-    if (rx == &sender) continue;
-    if (rx->channel_id() != sender.channel_id()) continue;  // different frequency
+
+  const auto consider = [&](WirelessPhy* rx) {
+    if (rx == &sender) return;
+    ++pair_evaluations_;
+    if (rx->channel_id() != sender.channel_id()) return;  // different frequency
     const double d = mobility::distance(from, rx->position());
-    const double power = propagation_->rx_power(sender.params().tx_power_w, d);
-    if (power < rx->params().cs_threshold_w) continue;  // invisible
-    scratch_.push_back({rx, power, sim::Time::seconds(d / kSpeedOfLight)});
+    const double power = propagation_->rx_power(tx_power, d);
+    if (power < rx->params().cs_threshold_w) return;  // invisible
+    scratch_.push_back({rx, rx->chan_slot_, generations_[rx->chan_slot_], power,
+                        sim::Time::seconds(d / kSpeedOfLight)});
+  };
+
+  if (grid_active()) {
+    if (!grid_built_ || range_dirty_) {
+      rebuild_grid();
+    } else if (env_.now() - last_rebucket_ >= params_.grid_rebucket_period) {
+      rebucket_all();
+    }
+    grid_.update(&sender, from);  // the sender's position is exact and free
+    grid_.collect(from, query_radius(), candidates_);
+    for (WirelessPhy* rx : candidates_) consider(rx);
+  } else {
+    for (WirelessPhy* rx : phys_) consider(rx);
   }
+
+  schedule_deliveries(std::move(p), duration);
+}
+
+void Channel::schedule_deliveries(net::Packet p, sim::Time duration) {
   for (std::size_t i = 0; i < scratch_.size(); ++i) {
     const Reachable& r = scratch_[i];
     // Clone into the pool (last receiver adopts by move): the scheduled
@@ -173,10 +261,23 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
     net::PooledPacket copy = i + 1 < scratch_.size() ? env_.packet_pool().clone(p)
                                                      : env_.packet_pool().adopt(std::move(p));
     env_.scheduler().schedule_in(
-        r.prop_delay, [rx = r.rx, copy = std::move(copy), power = r.power_w, duration]() mutable {
-          rx->signal_start(std::move(copy), power, duration);
+        r.prop_delay, [ch = this, slot = r.slot, gen = r.generation, copy = std::move(copy),
+                       power = r.power_w, duration]() mutable {
+          ch->deliver(slot, gen, std::move(copy), power, duration);
         });
   }
+}
+
+void Channel::deliver(std::uint32_t slot, std::uint32_t generation, net::PooledPacket p,
+                      double power_w, sim::Time duration) {
+  // The receiver may have detached (and been destroyed) during the
+  // propagation delay, and its slot may even hold a newer phy; either way
+  // the generation mismatch (or empty slot) drops the signal. The pooled
+  // shell returns to the pool as `p` goes out of scope.
+  if (generations_[slot] != generation) return;
+  WirelessPhy* rx = slots_[slot];
+  if (rx == nullptr) return;
+  rx->signal_start(std::move(p), power_w, duration);
 }
 
 }  // namespace eblnet::phy

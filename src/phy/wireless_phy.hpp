@@ -1,13 +1,16 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
+#include <vector>
 
 #include "mobility/vec2.hpp"
 #include "net/env.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "phy/propagation.hpp"
+#include "phy/spatial_grid.hpp"
 #include "sim/timer.hpp"
 
 namespace eblnet::phy {
@@ -90,10 +93,22 @@ class WirelessPhy {
   std::uint64_t rx_collision_count() const noexcept { return rx_collision_count_; }
 
  private:
+  friend class Channel;
+  friend class SpatialGrid;
+
   void note_busy_until(sim::Time t);
   void update_carrier();
   void finish_reception();
   void abort_reception();
+
+  // --- Channel/SpatialGrid bookkeeping ---
+  // Owned by the Channel this phy is attached to; kept inline here so the
+  // broadcast hot path needs no side-table lookups.
+  std::uint32_t chan_slot_{0};      ///< delivery-liveness slot in the channel
+  std::uint64_t attach_seq_{0};     ///< stable iteration order for grid queries
+  std::int32_t grid_cx_{0};         ///< cached grid cell (valid iff grid_bucketed_)
+  std::int32_t grid_cy_{0};
+  bool grid_bucketed_{false};
 
   net::Env& env_;
   net::NodeId owner_;
@@ -123,12 +138,53 @@ class WirelessPhy {
   std::uint64_t rx_collision_count_{0};
 };
 
+/// Tuning knobs for the channel's broadcast-delivery path.
+struct ChannelParams {
+  /// Below this many attached phys every broadcast walks the flat
+  /// attach-order loop (the paper's 6-vehicle trials take this path); at
+  /// or above it, candidates come from the spatial grid. For
+  /// deterministic propagation models the two paths produce the identical
+  /// delivery set in the identical order, so the threshold is purely a
+  /// constant-factor tradeoff: grid maintenance is not worth it for a
+  /// handful of nodes.
+  std::size_t grid_min_phys{16};
+  /// Upper bound on node speed assumed by lazy re-bucketing: a bucketed
+  /// position may drift at most `grid_max_speed_mps * grid_rebucket_period`
+  /// metres before the next full re-bucket pass, and grid queries are
+  /// padded by exactly that slack. Nodes exceeding this speed may be
+  /// missed by grid culling. 70 m/s ≈ 250 km/h.
+  double grid_max_speed_mps{70.0};
+  /// Maximum bucket staleness: a grid-path transmit at least this long
+  /// after the previous full re-bucket first re-buckets every phy (an
+  /// O(N) pass amortised over all transmits within the period).
+  sim::Time grid_rebucket_period{sim::Time::milliseconds(500)};
+};
+
 /// The shared broadcast medium: fans a transmission out to every other
 /// attached phy whose received power clears its carrier-sense threshold,
 /// after the speed-of-light propagation delay.
+///
+/// With few phys attached, each transmission evaluates the propagation
+/// model against every other phy (flat attach-order loop). At
+/// `ChannelParams::grid_min_phys` and beyond, a uniform spatial grid
+/// (SpatialGrid) prunes the candidate set to the 3x3 cell neighbourhood
+/// of the sender — cells are sized to the maximum interference range
+/// `envelope_rx_power(max tx power) >= min cs threshold` over the attached
+/// phys, plus mobility slack — making a broadcast O(neighbours) instead of
+/// O(N). Candidates are iterated in stable attach order and filtered by
+/// the exact same per-receiver propagation test as the flat loop, so both
+/// paths deliver the identical set in the identical order for
+/// deterministic models (for fading models, grid culling uses the
+/// deterministic envelope and skips the per-candidate fade draw of
+/// out-of-range phys; see DESIGN.md §3.5).
+///
+/// Deliveries are scheduled against a (slot, generation) liveness table
+/// rather than a raw phy pointer: a phy detached (even destroyed) while a
+/// signal is in flight simply never receives it.
 class Channel {
  public:
-  Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation);
+  Channel(net::Env& env, std::shared_ptr<PropagationModel> propagation,
+          ChannelParams params = {});
 
   void attach(WirelessPhy* phy);
   void detach(WirelessPhy* phy);
@@ -140,19 +196,70 @@ class Channel {
   void transmit(WirelessPhy& sender, net::Packet p, sim::Time duration);
 
   const PropagationModel& propagation() const noexcept { return *propagation_; }
+  const ChannelParams& params() const noexcept { return params_; }
   std::size_t phy_count() const noexcept { return phys_.size(); }
 
- private:
+  /// True when the next transmit will take the grid path.
+  bool grid_active() const noexcept { return phys_.size() >= params_.grid_min_phys; }
+
+  // --- statistics (the perf_scale bench's scaling evidence) ---
+  /// Transmissions fanned out.
+  std::uint64_t broadcasts() const noexcept { return broadcast_count_; }
+  /// Candidate receivers examined across all broadcasts (flat: N-1 per
+  /// transmit; grid: the cell-neighbourhood candidates only).
+  std::uint64_t pair_evaluations() const noexcept { return pair_evaluations_; }
+  /// Full O(N) re-bucket passes performed.
+  std::uint64_t grid_rebuckets() const noexcept { return grid_rebucket_count_; }
+
+  /// One receiver of the most recent transmit (diagnostic/test hook).
   struct Reachable {
     WirelessPhy* rx;
+    std::uint32_t slot;
+    std::uint32_t generation;
     double power_w;
     sim::Time prop_delay;
   };
+  /// The receiver list of the most recent transmit, in delivery order —
+  /// the grid/flat equivalence property test compares these.
+  const std::vector<Reachable>& last_reachable() const noexcept { return scratch_; }
+
+ private:
+  void rebuild_grid();
+  void rebucket_all();
+  double query_radius() const noexcept;
+  void deliver(std::uint32_t slot, std::uint32_t generation, net::PooledPacket p,
+               double power_w, sim::Time duration);
+  void schedule_deliveries(net::Packet p, sim::Time duration);
 
   net::Env& env_;
   std::shared_ptr<PropagationModel> propagation_;
+  ChannelParams params_;
   std::vector<WirelessPhy*> phys_;
   std::vector<Reachable> scratch_;  ///< per-transmit receiver list, reused
+
+  // Delivery liveness: slots_[phy->chan_slot_] == phy while attached.
+  // Detach clears the slot; re-attach into a recycled slot bumps its
+  // generation, so an in-flight delivery captured under the old
+  // generation is dropped instead of dereferencing a dead phy.
+  std::vector<WirelessPhy*> slots_;
+  std::vector<std::uint32_t> generations_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_attach_seq_{0};
+
+  // Spatial index (built lazily on the first grid-path transmit).
+  SpatialGrid grid_;
+  bool grid_built_{false};
+  bool range_dirty_{true};
+  sim::Time last_rebucket_{};
+  double interference_range_m_{0.0};
+  /// Extremes over attached phys; conservative (never shrink on detach).
+  double max_tx_power_w_{0.0};
+  double min_cs_threshold_w_{std::numeric_limits<double>::infinity()};
+  std::vector<WirelessPhy*> candidates_;  ///< grid query scratch, reused
+
+  std::uint64_t broadcast_count_{0};
+  std::uint64_t pair_evaluations_{0};
+  std::uint64_t grid_rebucket_count_{0};
 };
 
 }  // namespace eblnet::phy

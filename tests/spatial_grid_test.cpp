@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/trial.hpp"
+#include "mobility/vehicle.hpp"
+#include "phy/spatial_grid.hpp"
+#include "phy/wireless_phy.hpp"
+#include "sim/rng.hpp"
+#include "test_net.hpp"
+
+namespace eblnet::phy {
+namespace {
+
+using sim::Time;
+using namespace sim::time_literals;
+
+ChannelParams grid_forced() {
+  ChannelParams p;
+  p.grid_min_phys = 0;  // every broadcast takes the grid path
+  return p;
+}
+
+ChannelParams grid_disabled() {
+  ChannelParams p;
+  p.grid_min_phys = static_cast<std::size_t>(-1);  // flat loop forever
+  return p;
+}
+
+net::Packet make_packet(std::uint64_t uid = 1) {
+  net::Packet p;
+  p.uid = uid;
+  p.mac.emplace();
+  return p;
+}
+
+/// The observable contract: same receivers, same order, same powers, same
+/// delays. (Delivery closures are scheduled in this order, so equal
+/// sequences imply bit-identical downstream behaviour for deterministic
+/// propagation.)
+void expect_same_reachable(const Channel& grid, const Channel& flat, const char* context) {
+  const auto& g = grid.last_reachable();
+  const auto& f = flat.last_reachable();
+  ASSERT_EQ(g.size(), f.size()) << context;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g[i].rx->owner(), f[i].rx->owner()) << context << " index " << i;
+    EXPECT_EQ(g[i].power_w, f[i].power_w) << context << " index " << i;
+    EXPECT_EQ(g[i].prop_delay, f[i].prop_delay) << context << " index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grid/flat equivalence (the determinism contract)
+// ---------------------------------------------------------------------------
+
+TEST(SpatialGridEquivalence, RandomizedPositionsChannelsAndThresholds) {
+  // Two identical populations, one channel with the grid forced on and one
+  // with the flat loop forced; every transmit must produce the identical
+  // reachable sequence. Positions span several cells (cell ~585 m),
+  // include co-located pairs, and nodes pinned to exact cell-boundary
+  // multiples; cs thresholds and frequency channels vary per node.
+  eblnet::testing::TestNet grid_net{1, nullptr, grid_forced()};
+  eblnet::testing::TestNet flat_net{1, nullptr, grid_disabled()};
+
+  const TwoRayGround ranges;
+  const PhyParams defaults;
+  const double cell = ranges.range_for_threshold(defaults.tx_power_w, defaults.cs_threshold_w / 4) +
+                      70.0 * 0.5 + 1e-6;  // mirrors the channel's sizing, only for test geometry
+
+  sim::Rng rng{42};
+  std::vector<mobility::Vec2> positions;
+  std::vector<PhyParams> params;
+  std::vector<std::uint32_t> channels;
+  for (int i = 0; i < 48; ++i) {
+    positions.push_back({rng.uniform() * 4000.0 - 2000.0, rng.uniform() * 4000.0 - 2000.0});
+    PhyParams p;
+    // cs threshold in [cs/4, cs): per-node interference ranges differ, all
+    // within the conservative maximum the grid is sized for.
+    p.cs_threshold_w = defaults.cs_threshold_w * (0.25 + 0.75 * rng.uniform());
+    params.push_back(p);
+    channels.push_back(rng.uniform() < 0.3 ? 1 : 0);
+  }
+  // Co-located pairs and exact cell-boundary stragglers.
+  positions[5] = positions[4];
+  positions[11] = positions[10];
+  positions[20] = {0.0, 0.0};
+  positions[21] = {cell, 0.0};
+  positions[22] = {-cell, cell};
+  positions[23] = {2.0 * cell, -cell};
+  positions[24] = {cell, cell};
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    grid_net.add_node(positions[i], params[i]);
+    flat_net.add_node(positions[i], params[i]);
+    grid_net.phy(i).set_channel_id(channels[i]);
+    flat_net.phy(i).set_channel_id(channels[i]);
+  }
+
+  ASSERT_TRUE(grid_net.channel().grid_active());
+  ASSERT_FALSE(flat_net.channel().grid_active());
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    grid_net.channel().transmit(grid_net.phy(i), make_packet(i + 1), 1_ms);
+    flat_net.channel().transmit(flat_net.phy(i), make_packet(i + 1), 1_ms);
+    expect_same_reachable(grid_net.channel(), flat_net.channel(), "static sender");
+    // Drain the scheduled deliveries so pending events don't pile up.
+    grid_net.run_for(10_ms);
+    flat_net.run_for(10_ms);
+  }
+  // The grid examined strictly fewer candidate pairs for the same answer.
+  EXPECT_LT(grid_net.channel().pair_evaluations(), flat_net.channel().pair_evaluations());
+}
+
+TEST(SpatialGridEquivalence, MovingNodesAcrossRebucketPeriods) {
+  // Vehicles cruising at 50 m/s cross cell boundaries; transmits straddle
+  // several re-bucket periods, so stale buckets plus the mobility slack
+  // must still produce the flat loop's exact reachable sequence.
+  eblnet::testing::TestNet grid_net{1, nullptr, grid_forced()};
+  eblnet::testing::TestNet flat_net{1, nullptr, grid_disabled()};
+
+  const auto build = [](eblnet::testing::TestNet& net) {
+    for (int i = 0; i < 24; ++i) {
+      auto vehicle = std::make_shared<mobility::Vehicle>(
+          net.env().scheduler(), mobility::Vec2{i * 150.0, (i % 3) * 400.0},
+          mobility::Vec2{1.0, 0.0});
+      vehicle->cruise(50.0);
+      net.add_mobile_node(vehicle);
+    }
+  };
+  build(grid_net);
+  build(flat_net);
+
+  for (int step = 0; step < 8; ++step) {
+    grid_net.run_for(Time::milliseconds(400));
+    flat_net.run_for(Time::milliseconds(400));
+    const std::size_t sender = static_cast<std::size_t>(step * 7) % 24;
+    grid_net.channel().transmit(grid_net.phy(sender), make_packet(step + 1), 1_ms);
+    flat_net.channel().transmit(flat_net.phy(sender), make_packet(step + 1), 1_ms);
+    expect_same_reachable(grid_net.channel(), flat_net.channel(), "moving sender");
+  }
+  EXPECT_GE(grid_net.channel().grid_rebuckets(), 1u);
+}
+
+TEST(SpatialGridEquivalence, AttachDetachKeepsGridConsistent) {
+  // Phys joining and leaving mid-run (slot recycling included) must keep
+  // grid and flat channels in lockstep.
+  net::Env grid_env{1}, flat_env{1};
+  Channel grid_ch{grid_env, std::make_shared<TwoRayGround>(), grid_forced()};
+  Channel flat_ch{flat_env, std::make_shared<TwoRayGround>(), grid_disabled()};
+
+  std::vector<std::unique_ptr<WirelessPhy>> grid_phys, flat_phys;
+  const auto add = [&](double x, double y) {
+    const auto id = static_cast<net::NodeId>(grid_phys.size());
+    grid_phys.push_back(std::make_unique<WirelessPhy>(
+        grid_env, id, grid_ch, [x, y] { return mobility::Vec2{x, y}; }, PhyParams{}));
+    flat_phys.push_back(std::make_unique<WirelessPhy>(
+        flat_env, id, flat_ch, [x, y] { return mobility::Vec2{x, y}; }, PhyParams{}));
+  };
+  for (int i = 0; i < 30; ++i) add(i * 90.0, 0.0);
+
+  // Remove a third of the population (destroying the phys detaches them).
+  for (int i = 0; i < 30; i += 3) {
+    grid_phys[i].reset();
+    flat_phys[i].reset();
+  }
+  // And add newcomers into the recycled slots.
+  add(135.0, 45.0);
+  add(405.0, -45.0);
+
+  for (std::size_t i = 0; i < grid_phys.size(); ++i) {
+    if (!grid_phys[i]) continue;
+    grid_ch.transmit(*grid_phys[i], make_packet(i + 1), 1_ms);
+    flat_ch.transmit(*flat_phys[i], make_packet(i + 1), 1_ms);
+    expect_same_reachable(grid_ch, flat_ch, "after churn");
+    grid_env.scheduler().run_until(grid_env.now() + 10_ms);
+    flat_env.scheduler().run_until(flat_env.now() + 10_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dangling-receiver hazard (detach during the propagation delay)
+// ---------------------------------------------------------------------------
+
+class DetachFixture : public ::testing::Test {
+ protected:
+  net::Env env{1};
+  Channel channel{env, std::make_shared<TwoRayGround>()};
+
+  std::unique_ptr<WirelessPhy> make_phy(net::NodeId id, mobility::Vec2 pos) {
+    return std::make_unique<WirelessPhy>(
+        env, id, channel, [pos] { return pos; }, PhyParams{});
+  }
+};
+
+TEST_F(DetachFixture, DetachMidFlightDropsDeliveryInsteadOfUseAfterFree) {
+  auto tx = make_phy(0, {0.0, 0.0});
+  auto rx = make_phy(1, {100.0, 0.0});  // propagation delay ~334 ns
+  bool heard = false;
+  rx->set_rx_end_callback([&](net::Packet, bool) { heard = true; });
+
+  tx->transmit(make_packet(7), 1_ms);
+  // Destroy the receiver after the transmit but before the signal arrives.
+  env.scheduler().schedule_in(Time::nanoseconds(100), [&] { rx.reset(); });
+  env.scheduler().run_until(Time::seconds(std::int64_t{1}));
+
+  EXPECT_FALSE(heard);
+  EXPECT_EQ(rx, nullptr);
+}
+
+TEST_F(DetachFixture, RecycledSlotDoesNotReceiveThePreviousOccupantsSignal) {
+  auto tx = make_phy(0, {0.0, 0.0});
+  auto rx = make_phy(1, {100.0, 0.0});
+  std::unique_ptr<WirelessPhy> replacement;
+  bool replacement_heard = false;
+
+  tx->transmit(make_packet(7), 1_ms);
+  env.scheduler().schedule_in(Time::nanoseconds(100), [&] {
+    rx.reset();  // frees slot 1...
+    replacement = make_phy(2, {100.0, 0.0});  // ...which the newcomer recycles
+    replacement->set_rx_end_callback([&](net::Packet, bool) { replacement_heard = true; });
+  });
+  env.scheduler().run_until(Time::seconds(std::int64_t{1}));
+
+  // The in-flight signal was addressed to the old generation of the slot.
+  EXPECT_FALSE(replacement_heard);
+  EXPECT_EQ(replacement->rx_ok_count(), 0u);
+  EXPECT_FALSE(replacement->carrier_busy());
+}
+
+// ---------------------------------------------------------------------------
+// range_for_threshold cache
+// ---------------------------------------------------------------------------
+
+class CountingTwoRay final : public TwoRayGround {
+ public:
+  double rx_power(double tx_power_w, double distance_m) const override {
+    ++evaluations;
+    return TwoRayGround::rx_power(tx_power_w, distance_m);
+  }
+  mutable std::uint64_t evaluations{0};
+};
+
+TEST(PropagationRangeCache, BisectsOncePerDistinctPair) {
+  const CountingTwoRay model;
+  const PhyParams p;
+  const double r1 = model.range_for_threshold(p.tx_power_w, p.cs_threshold_w);
+  const std::uint64_t after_first = model.evaluations;
+  EXPECT_GT(after_first, 0u);
+
+  // Same pair: served from the cache, no bisection.
+  EXPECT_EQ(model.range_for_threshold(p.tx_power_w, p.cs_threshold_w), r1);
+  EXPECT_EQ(model.evaluations, after_first);
+
+  // A different pair bisects again; repeating it is cached too.
+  const double r2 = model.range_for_threshold(p.tx_power_w, p.rx_threshold_w);
+  EXPECT_LT(r2, r1);
+  const std::uint64_t after_second = model.evaluations;
+  EXPECT_GT(after_second, after_first);
+  EXPECT_EQ(model.range_for_threshold(p.tx_power_w, p.rx_threshold_w), r2);
+  EXPECT_EQ(model.evaluations, after_second);
+}
+
+TEST(PropagationEnvelope, NakagamiEnvelopeIsDeterministicAndAboveMean) {
+  sim::Rng rng{5};
+  const NakagamiFading nak{3.0, rng};
+  const TwoRayGround mean;
+  const double d = 200.0;
+  const double e1 = nak.envelope_rx_power(0.28, d);
+  // Repeated calls consume no randomness and return the same value.
+  EXPECT_EQ(nak.envelope_rx_power(0.28, d), e1);
+  EXPECT_DOUBLE_EQ(e1, 10.0 * mean.rx_power(0.28, d));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-scenario equivalence: the paper trials with the grid forced on
+// ---------------------------------------------------------------------------
+
+TEST(SpatialGridScenario, ForcedGridReproducesTrialBitIdentically) {
+  core::ScenarioConfig base = core::trial3_config();  // 802.11: densest phy traffic
+  base.duration = sim::Time::seconds(std::int64_t{12});
+  core::ScenarioConfig grid_cfg = base;
+  grid_cfg.channel.grid_min_phys = 0;
+
+  const core::TrialResult flat = core::run_trial(base);
+  const core::TrialResult grid = core::run_trial(grid_cfg);
+
+  EXPECT_EQ(flat.events_executed, grid.events_executed);
+  EXPECT_EQ(flat.phy_collisions, grid.phy_collisions);
+  ASSERT_EQ(flat.p1_middle.size(), grid.p1_middle.size());
+  for (std::size_t i = 0; i < flat.p1_middle.size(); ++i) {
+    EXPECT_EQ(flat.p1_middle[i].sent, grid.p1_middle[i].sent);
+    EXPECT_EQ(flat.p1_middle[i].received, grid.p1_middle[i].received);
+  }
+  ASSERT_EQ(flat.p1_throughput.size(), grid.p1_throughput.size());
+  for (std::size_t i = 0; i < flat.p1_throughput.size(); ++i) {
+    EXPECT_EQ(flat.p1_throughput.points()[i].value, grid.p1_throughput.points()[i].value);
+  }
+}
+
+// The scenario-level channel-model selector: Nakagami runs are seeded
+// and repeatable, and actually change the radio outcome relative to the
+// paper's deterministic two-ray channel.
+TEST(SpatialGridScenario, NakagamiPropagationIsSeededAndDistinctFromTwoRay) {
+  core::ScenarioConfig faded = core::trial3_config();
+  faded.duration = sim::Time::seconds(std::int64_t{6});
+  faded.propagation = core::PropagationType::kNakagami;
+
+  const core::TrialResult a = core::run_trial(faded);
+  const core::TrialResult b = core::run_trial(faded);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.phy_collisions, b.phy_collisions);
+
+  core::ScenarioConfig two_ray = faded;
+  two_ray.propagation = core::PropagationType::kTwoRay;
+  const core::TrialResult c = core::run_trial(two_ray);
+  EXPECT_NE(a.events_executed, c.events_executed);
+}
+
+}  // namespace
+}  // namespace eblnet::phy

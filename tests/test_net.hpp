@@ -23,10 +23,12 @@ namespace eblnet::testing {
 class TestNet {
  public:
   explicit TestNet(std::uint64_t seed = 1,
-                   std::shared_ptr<phy::PropagationModel> propagation = nullptr)
+                   std::shared_ptr<phy::PropagationModel> propagation = nullptr,
+                   phy::ChannelParams channel_params = {})
       : env_{seed},
-        channel_{env_, propagation ? std::move(propagation)
-                                   : std::make_shared<phy::TwoRayGround>()} {
+        channel_{env_,
+                 propagation ? std::move(propagation) : std::make_shared<phy::TwoRayGround>(),
+                 channel_params} {
     env_.set_trace_sink(&tracer_);
   }
 
