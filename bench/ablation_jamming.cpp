@@ -12,7 +12,6 @@
 #include <utility>
 #include <vector>
 
-#include "app/jammer.hpp"
 #include "bench/options.hpp"
 #include "core/ebl_app.hpp"
 #include "core/json_writer.hpp"
@@ -26,6 +25,7 @@
 #include "phy/fhss.hpp"
 #include "queue/drop_tail.hpp"
 #include "routing/aodv.hpp"
+#include "sim/fault.hpp"
 #include "trace/delay_analyzer.hpp"
 #include "trace/trace_manager.hpp"
 
@@ -90,17 +90,31 @@ Result run(Setup setup, double duty) {
   ebl_cfg.cbr_rate_bps = 200e3;
   core::PlatoonEbl ebl{env, platoon, node_ptrs, ebl_cfg};
 
-  // The jammer's radio, 20 m off the road.
+  // The jammer's radio, 20 m off the road. The attack itself is a
+  // kRfJam fault: the controller paces the duty cycle and this bench
+  // radiates each burst from the jammer's phy through the hook.
   auto jam_node = std::make_unique<net::Node>(env, 99);
   jam_node->set_mobility(std::make_shared<mobility::StaticMobility>(mobility::Vec2{20.0, 0.0}));
   auto* jam_ptr = jam_node.get();
   phys.push_back(std::make_unique<phy::WirelessPhy>(env, 99, channel,
                                                     [jam_ptr] { return jam_ptr->position(); }));
-  std::unique_ptr<app::Jammer> jammer;
   if (duty > 0.0) {
+    phy::WirelessPhy* jam_phy = phys.back().get();
+    env.faults().set_jam_burst_hook([&env, jam_phy](const sim::FaultEvent& e) {
+      if (jam_phy->transmitting()) return;
+      net::Packet noise;
+      noise.uid = env.alloc_uid();
+      noise.type = net::PacketType::kNoise;
+      noise.created = env.now();
+      noise.mac.emplace();
+      noise.mac->src = jam_phy->owner();
+      noise.mac->dst = net::kBroadcastAddress;
+      jam_phy->transmit(std::move(noise), e.burst);
+    });
     const sim::Time period = sim::Time::milliseconds(10);
-    jammer = std::make_unique<app::Jammer>(env, *phys.back(), period * duty, period);
-    jammer->start();
+    sim::FaultPlan plan;
+    plan.jam(sim::Time::zero(), /*duration=*/{}, period, period * duty);
+    env.install_faults(plan);
   }
 
   std::unique_ptr<phy::FhssHopper> hopper;

@@ -5,18 +5,21 @@
 # recorded number comes from the same optimized configuration.
 #
 # Modes:
-#   bench.sh           parallel-sweep harness (perf_sweep) + scheduler/
-#                      packet micro-benchmarks
-#   bench.sh --scale   large-N spatial-grid harness (perf_scale, including
-#                      the N = 1000 acceptance point) + channel-broadcast
-#                      micro-benchmark
+#   bench.sh              parallel-sweep harness (perf_sweep) + scheduler/
+#                         packet micro-benchmarks
+#   bench.sh --scale      large-N spatial-grid harness (perf_scale,
+#                         including the N = 1000 acceptance point) +
+#                         channel-broadcast micro-benchmark
+#   bench.sh --resilience safety-under-failure sweep (resilience_sweep):
+#                         the paper trials under a crash/blackout/PER
+#                         fault grid
 #
 # Each harness run is APPENDED to the BENCH_sweep.json history array (the
 # shell stamps it with the run date — the C++ harness stays
 # deterministic), so the perf trajectory across PRs stays visible in one
-# file. Entries are distinguished by their "kind" field ("eblnet.perf"
-# vs "eblnet.perf_scale"). A legacy single-object BENCH_sweep.json is
-# wrapped into a one-entry array on first contact.
+# file. Entries are distinguished by their "kind" field ("eblnet.perf",
+# "eblnet.perf_scale", "eblnet.resilience"). A legacy single-object
+# BENCH_sweep.json is wrapped into a one-entry array on first contact.
 #
 # EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
 set -eu
@@ -27,6 +30,7 @@ HIST=BENCH_sweep.json
 
 MODE=sweep
 [ "${1:-}" = "--scale" ] && MODE=scale
+[ "${1:-}" = "--resilience" ] && MODE=resilience
 
 cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD"
@@ -37,6 +41,9 @@ trap 'rm -f "$RUN"' EXIT
 if [ "$MODE" = "scale" ]; then
   echo "== perf_scale (spatial-grid channel vs flat broadcast loop) =="
   "$BUILD"/bench/perf_scale full --json "$RUN"
+elif [ "$MODE" = "resilience" ]; then
+  echo "== resilience_sweep (paper trials under crash/blackout/PER faults) =="
+  "$BUILD"/bench/resilience_sweep --json "$RUN"
 else
   echo "== perf_sweep (serial vs parallel confidence sweep) =="
   "$BUILD"/bench/perf_sweep --json "$RUN"
@@ -63,7 +70,9 @@ printf ']\n' >> "$HIST"
 echo "appended run ($STAMP) to $HIST"
 
 echo
-if [ "$MODE" = "scale" ]; then
+if [ "$MODE" = "resilience" ]; then
+  : # no micro-benchmark counterpart; the sweep above is the whole story
+elif [ "$MODE" = "scale" ]; then
   echo "== micro_components (channel broadcast hot path) =="
   "$BUILD"/bench/micro_components --benchmark_filter='Channel' \
       --benchmark_min_time=0.2

@@ -169,6 +169,27 @@ void write_config(JsonWriter& w, const ScenarioConfig& cfg) {
   w.field("duration_s", cfg.duration.to_seconds());
   w.field("seed", cfg.seed);
   w.field("metrics_enabled", cfg.enable_metrics);
+  w.key("faults");
+  w.begin_object();
+  w.field("enabled", !cfg.faults.empty());
+  w.field("event_count", static_cast<std::uint64_t>(cfg.faults.events.size()));
+  w.field("rng_seed", cfg.faults.rng_seed);
+  w.end_object();
+  w.end_object();
+}
+
+void write_resilience(JsonWriter& w, const TrialResult::Resilience& rz) {
+  w.begin_object();
+  w.field("faults_enabled", rz.faults_enabled);
+  w.field("time_to_reroute_s", rz.time_to_reroute_s);
+  w.field("delivery_ratio", rz.delivery_ratio);
+  w.field("delivery_ratio_during_outage", rz.delivery_ratio_during_outage);
+  w.field("delivery_ratio_after_outage", rz.delivery_ratio_after_outage);
+  w.field("outage_start_s", rz.outage_start_s);
+  w.field("outage_end_s", rz.outage_end_s);
+  w.field("crashes", rz.crashes);
+  w.field("injected_drops", rz.injected_drops);
+  w.field("jam_bursts", rz.jam_bursts);
   w.end_object();
 }
 
@@ -232,8 +253,56 @@ void write_trial_object(JsonWriter& w, const TrialResult& r) {
   w.field("data_frame_sends", r.data_frame_sends);
   w.end_object();
 
+  w.key("resilience");
+  write_resilience(w, r.resilience);
+
   w.key("metrics");
   write_metrics(w, r.metrics);
+  w.end_object();
+}
+
+void write_resilience_cell(JsonWriter& w, const ResilienceCell& cell) {
+  const TrialResult& r = cell.result;
+  w.begin_object();
+  w.field("label", cell.label);
+  w.field("axis", cell.axis);
+  w.field("value", cell.value);
+  w.field("name", r.name);
+  w.field("events_executed", r.events_executed);
+
+  w.key("resilience");
+  write_resilience(w, r.resilience);
+
+  const bool have_delay = r.p1_initial_packet_delay_s >= 0.0;
+  const bool have_baseline = cell.baseline_initial_delay_s >= 0.0;
+  w.field("p1_initial_packet_delay_s", r.p1_initial_packet_delay_s);
+  w.field("baseline_initial_delay_s", cell.baseline_initial_delay_s);
+  // Inflation of the safety-critical first-packet delay over the
+  // fault-free baseline; 0 when either side is missing (the verdict
+  // below carries the "never notified" case).
+  w.field("delay_inflation_s", have_delay && have_baseline
+                                   ? r.p1_initial_packet_delay_s - cell.baseline_initial_delay_s
+                                   : 0.0);
+
+  {
+    // §III.E stopping-distance feasibility, evaluated under the fault. A
+    // follower that never hears the brake notification at all is its own
+    // verdict — worse than any finite delay.
+    const StoppingAssessment a{r.config.speed_mps, r.config.vehicle_gap_m,
+                               have_delay ? r.p1_initial_packet_delay_s : 0.0};
+    w.key("stopping_distance");
+    w.begin_object();
+    w.field("speed_mps", a.speed_mps);
+    w.field("headway_m", a.headway_m);
+    w.field("notification_delay_s", a.notification_delay_s);
+    w.field("distance_during_notification_m", a.distance_during_notification());
+    w.field("fraction_of_headway", a.fraction_of_headway());
+    w.field("margin_m", a.margin(0.0));
+    w.field("verdict", !have_delay               ? "never_notified"
+                       : a.collision_avoided(0.0) ? "avoided"
+                                                  : "collision");
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -274,6 +343,28 @@ void write_sweep_json(std::ostream& os, const std::string& name,
   os << '\n';
 }
 
+void write_resilience_json(std::ostream& os, const std::string& name,
+                           std::span<const TrialResult> baselines,
+                           std::span<const ResilienceCell> cells) {
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("schema_version", static_cast<std::int64_t>(kManifestSchemaVersion));
+  w.field("kind", "eblnet.resilience");
+  w.field("name", name);
+  w.field("baseline_count", static_cast<std::uint64_t>(baselines.size()));
+  w.key("baselines");
+  w.begin_array();
+  for (const auto& r : baselines) write_trial_object(w, r);
+  w.end_array();
+  w.field("cell_count", static_cast<std::uint64_t>(cells.size()));
+  w.key("cells");
+  w.begin_array();
+  for (const auto& c : cells) write_resilience_cell(w, c);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
 namespace {
 
 std::ofstream open_or_throw(const std::string& path) {
@@ -294,6 +385,14 @@ void write_sweep_json_file(const std::string& path, const std::string& name,
                            std::span<const TrialResult> results) {
   auto f = open_or_throw(path);
   write_sweep_json(f, name, results);
+  if (!f) throw std::runtime_error{"report: write failed for " + path};
+}
+
+void write_resilience_json_file(const std::string& path, const std::string& name,
+                                std::span<const TrialResult> baselines,
+                                std::span<const ResilienceCell> cells) {
+  auto f = open_or_throw(path);
+  write_resilience_json(f, name, baselines, cells);
   if (!f) throw std::runtime_error{"report: write failed for " + path};
 }
 

@@ -5,14 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "core/trial.hpp"
 #include "stats/confidence.hpp"
 #include "stats/summary.hpp"
 #include "stats/time_series.hpp"
 #include "trace/delay_analyzer.hpp"
 
 namespace eblnet::core {
-
-struct TrialResult;
 
 /// Plain-text rendering helpers shared by the bench binaries: each bench
 /// prints the same rows/series the paper's figure or table shows.
@@ -68,7 +67,10 @@ void print_header(std::ostream& os, const std::string& title);
 // --- JSON run manifests ------------------------------------------------
 
 /// Manifest format version; bumped on any key addition/removal/rename.
-inline constexpr int kManifestSchemaVersion = 1;
+/// v2: config gained a "faults" block, trials a "resilience" block, the
+/// metrics block the fault counter layer, and "eblnet.resilience" joined
+/// the manifest kinds.
+inline constexpr int kManifestSchemaVersion = 2;
 
 /// Write the versioned JSON run manifest for one finished trial:
 /// config, seed, per-layer metric counters, delay/throughput summaries
@@ -82,10 +84,33 @@ void write_json(std::ostream& os, const TrialResult& r);
 void write_sweep_json(std::ostream& os, const std::string& name,
                       std::span<const TrialResult> results);
 
+/// One cell of a resilience sweep: a faulted re-run of a paper trial at
+/// one grid point (fault kind x magnitude), plus the fault-free
+/// first-packet delay of the same trial for inflation accounting.
+struct ResilienceCell {
+  std::string label;  ///< human-readable cell id, e.g. "crash@t=4s"
+  std::string axis;   ///< grid axis: "crash_at_s", "blackout_s", "per", ...
+  double value{0.0};  ///< axis value at this cell
+  /// Fault-free p1 initial-packet delay of the same trial; -1 = unknown.
+  double baseline_initial_delay_s{-1.0};
+  TrialResult result;  ///< the faulted run
+};
+
+/// Write a resilience-sweep manifest ("eblnet.resilience"): the
+/// fault-free baseline trials in full, then one compact object per grid
+/// cell with its resilience block, first-packet delay inflation over the
+/// baseline, and the stopping-distance-under-failure verdict.
+void write_resilience_json(std::ostream& os, const std::string& name,
+                           std::span<const TrialResult> baselines,
+                           std::span<const ResilienceCell> cells);
+
 /// Convenience: open `path`, write the manifest, throw on I/O failure.
 void write_json_file(const std::string& path, const TrialResult& r);
 void write_sweep_json_file(const std::string& path, const std::string& name,
                            std::span<const TrialResult> results);
+void write_resilience_json_file(const std::string& path, const std::string& name,
+                                std::span<const TrialResult> baselines,
+                                std::span<const ResilienceCell> cells);
 
 }  // namespace report
 }  // namespace eblnet::core

@@ -52,6 +52,15 @@ EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, en
   build_mobility();
   build_nodes();
   build_traffic();
+  // Fault wiring: a node crash powers the radio off (detaching it from
+  // the channel and the spatial grid, which kills in-flight deliveries)
+  // and cascades through MAC + routing via Node::set_up.
+  env_.faults().set_node_state_hook([this](std::uint32_t n, bool up) {
+    if (n >= nodes_.size()) return;
+    phys_[n]->set_down(!up);
+    nodes_[n]->set_up(up);
+  });
+  env_.install_faults(config_.faults);
 }
 
 EblScenario::~EblScenario() = default;

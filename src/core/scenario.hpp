@@ -14,6 +14,7 @@
 #include "queue/red.hpp"
 #include "routing/aodv.hpp"
 #include "routing/dsdv.hpp"
+#include "sim/fault.hpp"
 #include "trace/throughput_monitor.hpp"
 #include "trace/trace_manager.hpp"
 
@@ -101,6 +102,12 @@ struct ScenarioConfig {
 
   std::uint64_t seed{1};
   bool enable_trace{true};
+
+  /// Deterministic fault schedule (sim::FaultPlan). Empty by default —
+  /// and an empty plan is guaranteed not to perturb the simulation in any
+  /// way (bit-identical traces), so the paper's failure-free trials are
+  /// unaffected by the subsystem's existence.
+  sim::FaultPlan faults{};
 
   /// Turn on the per-layer metrics registry (sim::MetricsRegistry). Off by
   /// default so the hot path stays a single predicted branch; benches enable

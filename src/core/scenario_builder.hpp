@@ -89,6 +89,15 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- fault injection ---
+  /// Install a deterministic fault schedule (node crashes, RF blackouts,
+  /// packet-error rates, clock skew, queue chaos, jamming). The default
+  /// empty plan leaves the run bit-identical to a fault-free binary.
+  ScenarioBuilder& with_faults(sim::FaultPlan plan) {
+    config_.faults = std::move(plan);
+    return *this;
+  }
+
   // --- observability ---
   /// Enable the per-layer metrics registry (JSON manifests need this).
   ScenarioBuilder& metrics(bool on = true) {

@@ -1,6 +1,9 @@
 #include "core/trial.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
 
 namespace eblnet::core {
 
@@ -60,6 +63,72 @@ stats::ConfidenceInterval throughput_ci(const stats::TimeSeries& series, sim::Ti
     return stats::mean_confidence_interval(s);
   }
   return stats::batch_means_confidence_interval(window, 10);
+}
+
+/// Delivery bookkeeping for one (ip_src, ip_dst, app_seq) data packet.
+struct DeliveryRecord {
+  sim::Time first_send{};
+  bool delivered{false};
+};
+
+/// Hull of the plan's scheduled fault events, as [start, end] seconds.
+/// Permanent faults (zero duration) extend the window to `run_end`.
+/// Returns {-1, -1} for an empty plan.
+std::pair<double, double> outage_window(const sim::FaultPlan& plan, sim::Time run_end) {
+  double start = -1.0, end = -1.0;
+  for (const sim::FaultEvent& e : plan.events) {
+    const double s = e.at.to_seconds();
+    const double f = e.duration.is_zero() ? run_end.to_seconds() : (e.at + e.duration).to_seconds();
+    if (start < 0.0 || s < start) start = s;
+    if (f > end) end = f;
+  }
+  return {start, start < 0.0 ? -1.0 : end};
+}
+
+/// Application-level delivery accounting: offered = distinct data packets
+/// first sent at the agent layer, delivered = those also received at the
+/// agent layer of their IP destination. Windowed ratios classify packets
+/// by send time against the outage hull.
+void compute_delivery_ratios(TrialResult& r, const trace::TraceStore& records) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, DeliveryRecord> offered;
+  for (const net::TraceRecord& rec : records) {
+    if (rec.layer != net::TraceLayer::kAgent) continue;
+    if (rec.type != net::PacketType::kUdpData && rec.type != net::PacketType::kTcpData) continue;
+    const std::pair<std::uint64_t, std::uint64_t> key{
+        (static_cast<std::uint64_t>(rec.ip_src) << 32) | rec.ip_dst, rec.app_seq};
+    if (rec.action == net::TraceAction::kSend) {
+      offered.try_emplace(key, DeliveryRecord{rec.t, false});  // first send wins
+    } else if (rec.action == net::TraceAction::kRecv && rec.node == rec.ip_dst) {
+      const auto it = offered.find(key);
+      if (it != offered.end()) it->second.delivered = true;
+    }
+  }
+  if (offered.empty()) return;
+
+  const double out_start = r.resilience.outage_start_s;
+  const double out_end = r.resilience.outage_end_s;
+  std::uint64_t delivered = 0, during = 0, during_ok = 0, after = 0, after_ok = 0;
+  for (const auto& [key, d] : offered) {
+    (void)key;
+    delivered += d.delivered ? 1 : 0;
+    if (out_start < 0.0) continue;
+    const double sent = d.first_send.to_seconds();
+    if (sent >= out_start && sent <= out_end) {
+      ++during;
+      during_ok += d.delivered ? 1 : 0;
+    } else if (sent > out_end) {
+      ++after;
+      after_ok += d.delivered ? 1 : 0;
+    }
+  }
+  r.resilience.delivery_ratio =
+      static_cast<double>(delivered) / static_cast<double>(offered.size());
+  if (during > 0)
+    r.resilience.delivery_ratio_during_outage =
+        static_cast<double>(during_ok) / static_cast<double>(during);
+  if (after > 0)
+    r.resilience.delivery_ratio_after_outage =
+        static_cast<double>(after_ok) / static_cast<double>(after);
 }
 
 }  // namespace
@@ -127,6 +196,19 @@ TrialResult run_trial(const ScenarioConfig& config, std::string name,
     if (rec.layer == net::TraceLayer::kPhy && rec.reason == "COL") ++r.phy_collisions;
     if (rec.layer == net::TraceLayer::kMac && rec.reason == "RET") ++r.mac_retry_drops;
   }
+
+  r.resilience.faults_enabled = !config.faults.empty();
+  const sim::FaultController& faults = scenario.env().faults();
+  r.resilience.crashes = faults.crashes().size();
+  r.resilience.injected_drops = faults.injected_drops();
+  r.resilience.jam_bursts = faults.jam_bursts();
+  if (config.enable_metrics) {
+    const sim::GaugeStat reroute = r.metrics.gauge(sim::Gauge::kAodvRerouteSeconds);
+    if (reroute.count > 0) r.resilience.time_to_reroute_s = reroute.mean();
+  }
+  std::tie(r.resilience.outage_start_s, r.resilience.outage_end_s) =
+      outage_window(config.faults, config.duration);
+  compute_delivery_ratios(r, scenario.trace().records());
   return r;
 }
 

@@ -60,6 +60,44 @@ struct TrialResult {
   /// the events/sec figure the perf harness (bench/perf_sweep) reports.
   std::uint64_t events_executed{0};
 
+  /// Resilience under injected faults (sim::FaultPlan). `faults_enabled`
+  /// mirrors `!config.faults.empty()`; the delivery ratios are computed
+  /// from the trace even for fault-free runs so baseline and faulted
+  /// cells compare like-for-like, while the windowed ratios and the
+  /// counters stay at their inert defaults without a plan.
+  struct Resilience {
+    bool faults_enabled{false};
+
+    /// Mean seconds from a detected link failure to the first completed
+    /// replacement route discovery (Gauge::kAodvRerouteSeconds, averaged
+    /// over every reroute in the run). -1 when no reroute completed or
+    /// metrics were disabled.
+    double time_to_reroute_s{-1.0};
+
+    /// Application-level delivery ratio: distinct data packets received
+    /// at their IP destination / distinct data packets offered, matched
+    /// by (ip_src, ip_dst, app_seq) exactly like the delay analyzer.
+    /// -1 when no packets were offered.
+    double delivery_ratio{-1.0};
+    /// Delivery ratio restricted to packets *sent* inside / after the
+    /// outage window. -1 when the window is empty or nothing was offered
+    /// in the corresponding span.
+    double delivery_ratio_during_outage{-1.0};
+    double delivery_ratio_after_outage{-1.0};
+
+    /// Outage window: the hull [start, end] (seconds) of every scheduled
+    /// fault event; a permanent fault (zero duration) extends the window
+    /// to the end of the run. -1/-1 when the plan is empty.
+    double outage_start_s{-1.0};
+    double outage_end_s{-1.0};
+
+    /// FaultController bookkeeping — exact even with metrics disabled.
+    std::uint64_t crashes{0};
+    std::uint64_t injected_drops{0};
+    std::uint64_t jam_bursts{0};
+  };
+  Resilience resilience;
+
   // --- derived helpers ---
   std::vector<trace::DelaySample> p1_all() const;
   std::vector<trace::DelaySample> p2_all() const;

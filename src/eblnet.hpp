@@ -6,6 +6,7 @@
 /// and quick experiments can start here.
 
 // Engine
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -39,7 +40,6 @@
 #include "phy/wireless_phy.hpp"
 
 // Queues, MAC, routing, transport, traffic
-#include "app/jammer.hpp"
 #include "app/traffic.hpp"
 #include "mac/arp.hpp"
 #include "mac/mac_80211.hpp"

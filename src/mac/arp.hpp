@@ -50,6 +50,15 @@ class ArpLayer final : public net::MacLayer {
   const net::PacketQueue* interface_queue() const noexcept override {
     return inner_->interface_queue();
   }
+  /// Crash: forget the ARP cache and every held packet (a rebooted node
+  /// re-resolves), then cascade into the wrapped MAC.
+  void set_link_up(bool up) override {
+    if (!up) {
+      resolved_.clear();
+      pending_.clear();
+    }
+    inner_->set_link_up(up);
+  }
 
   // --- introspection ---
   bool is_resolved(net::NodeId dst) const { return resolved_.contains(dst); }

@@ -369,6 +369,28 @@ void Mac80211::update_nav(sim::Time until) {
   medium_changed();
 }
 
+void Mac80211::set_link_up(bool up) {
+  if (up == link_up()) return;
+  MacBase::set_link_up(up);
+  if (up) return;  // a rebooted DCF is idle until the next enqueue/rx
+  difs_timer_.cancel();
+  backoff_timer_.cancel();
+  response_timer_.cancel();
+  nav_timer_.cancel();
+  response_tx_timer_.cancel();
+  post_tx_timer_.cancel();
+  state_ = TxState::kIdle;
+  tx_frame_.reset();
+  pending_response_.reset();
+  pending_backoff_slots_ = -1;
+  medium_was_busy_ = false;
+  nav_until_ = sim::Time{};
+  eifs_until_ = sim::Time{};
+  cw_ = params_.cw_min;
+  retries_ = 0;
+  cts_received_ = false;
+}
+
 bool Mac80211::is_duplicate(const net::Packet& p) {
   if (seen_uids_.contains(p.uid)) return true;
   seen_uids_.insert(p.uid);

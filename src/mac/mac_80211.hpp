@@ -60,6 +60,7 @@ class Mac80211 final : public MacBase {
 
   void enqueue(net::Packet p) override;
   bool detects_link_failures() const override { return true; }
+  void set_link_up(bool up) override;
 
   const Mac80211Params& params() const noexcept { return params_; }
 

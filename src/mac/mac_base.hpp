@@ -25,6 +25,12 @@ class MacBase : public net::MacLayer {
     return ifq_->remove_by_next_hop(next_hop);
   }
 
+  /// Crash/reboot plumbing shared by the concrete MACs: going down drains
+  /// the interface queue (tracing each packet as a "FLT" ifq drop);
+  /// subclasses cancel their timers / reset protocol state on top.
+  void set_link_up(bool up) override;
+  bool link_up() const noexcept { return link_up_; }
+
   const net::PacketQueue& ifq() const noexcept { return *ifq_; }
   const net::PacketQueue* interface_queue() const noexcept final { return ifq_.get(); }
 
@@ -49,6 +55,7 @@ class MacBase : public net::MacLayer {
  private:
   RxCallback rx_cb_;
   TxFailCallback tx_fail_cb_;
+  bool link_up_{true};
 };
 
 }  // namespace eblnet::mac

@@ -49,6 +49,7 @@ class MacTdma final : public MacBase {
 
   void enqueue(net::Packet p) override;
   bool detects_link_failures() const override { return false; }
+  void set_link_up(bool up) override;
 
   const TdmaParams& params() const noexcept { return params_; }
   unsigned slot_index() const noexcept { return slot_index_; }

@@ -4,6 +4,7 @@
 
 #include "net/packet_pool.hpp"
 #include "net/trace_sink.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -17,7 +18,7 @@ namespace eblnet::net {
 /// process are fully independent and reproducible).
 class Env {
  public:
-  explicit Env(std::uint64_t seed = 1) : rng_{seed} {}
+  explicit Env(std::uint64_t seed = 1) : rng_{seed}, seed_{seed} {}
 
   Env(const Env&) = delete;
   Env& operator=(const Env&) = delete;
@@ -25,6 +26,17 @@ class Env {
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   sim::Rng& rng() noexcept { return rng_; }
   sim::Time now() const noexcept { return scheduler_.now(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Fault-injection controller; quiescent (single-branch queries) until
+  /// a non-empty plan is installed.
+  sim::FaultController& faults() noexcept { return faults_; }
+  const sim::FaultController& faults() const noexcept { return faults_; }
+
+  /// Validate and schedule `plan` (a no-op for the default empty plan).
+  void install_faults(const sim::FaultPlan& plan) {
+    faults_.install(plan, scheduler_, &metrics_, seed_);
+  }
 
   /// Per-layer counter/gauge registry. Disabled by default: every
   /// `metrics().add(...)` on the packet hot path is then a single branch
@@ -73,8 +85,10 @@ class Env {
   sim::Scheduler scheduler_;
   sim::Rng rng_;
   sim::MetricsRegistry metrics_;
+  sim::FaultController faults_;
   TraceSink* trace_{nullptr};
   std::uint64_t next_uid_{1};
+  std::uint64_t seed_{1};
 };
 
 }  // namespace eblnet::net

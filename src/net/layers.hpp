@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 
 namespace eblnet::net {
@@ -25,6 +26,11 @@ class PacketQueue {
   /// (used by AODV after a link failure). Returns the removed packets.
   virtual std::vector<Packet> remove_by_next_hop(NodeId next_hop) = 0;
 
+  /// Drain the entire queue (injected node crash). The drained packets
+  /// are counted under Counter::kIfqFaultFlushed — distinct from drops
+  /// and routing removals — and returned so the MAC can trace them.
+  virtual std::vector<Packet> flush_all() = 0;
+
   virtual std::size_t length() const = 0;
   virtual std::uint64_t drop_count() const = 0;
   bool empty() const { return length() == 0; }
@@ -39,6 +45,14 @@ class PacketQueue {
     metrics_node_ = node;
   }
 
+  /// Point the queue at the fault controller so queue-chaos faults can
+  /// corrupt/reorder arriving packets (done by MacBase alongside
+  /// bind_metrics). Null detaches.
+  void bind_faults(sim::FaultController* f, NodeId node) noexcept {
+    faults_ = f;
+    faults_node_ = node;
+  }
+
  protected:
   /// Counter bump for implementations; a no-op branch until bound.
   void metric(sim::Counter c, std::uint64_t delta = 1) noexcept {
@@ -48,9 +62,19 @@ class PacketQueue {
     if (metrics_ != nullptr) metrics_->sample(metrics_node_, g, v);
   }
 
+  /// Chaos verdict for one arriving packet; kNone unless a queue-chaos
+  /// fault is active on this node right now.
+  sim::FaultController::ChaosAction chaos_verdict() noexcept {
+    if (faults_ == nullptr || !faults_->queue_chaos_active(faults_node_))
+      return sim::FaultController::ChaosAction::kNone;
+    return faults_->chaos_draw(faults_node_);
+  }
+
  private:
   sim::MetricsRegistry* metrics_{nullptr};
   NodeId metrics_node_{0};
+  sim::FaultController* faults_{nullptr};
+  NodeId faults_node_{0};
 };
 
 /// Link layer seen from above. Implementations: mac::Mac80211, mac::MacTdma.
@@ -82,6 +106,11 @@ class MacLayer {
   /// Flush queued data packets destined to `next_hop` (route broke).
   virtual std::vector<Packet> flush_next_hop(NodeId next_hop) = 0;
 
+  /// Injected node crash (`up == false`): cancel pending MAC timers,
+  /// reset protocol state and flush the interface queue; `up == true`
+  /// restarts the MAC from a cold state (reboot). Default: ignore.
+  virtual void set_link_up(bool up) { (void)up; }
+
   /// The interface queue feeding this MAC, when it has one (decorators
   /// forward to the wrapped MAC). Used by the metrics snapshot to account
   /// for packets still queued at the end of a run.
@@ -103,6 +132,11 @@ class RoutingAgent {
   virtual void set_deliver_callback(DeliverCallback cb) = 0;
 
   virtual void attach_mac(MacLayer* mac) = 0;
+
+  /// Injected node crash/reboot. Down: forget every route, neighbour and
+  /// buffered packet (a rebooted router must re-discover, per the fault
+  /// model). Up: restart periodic behaviour (e.g. HELLO). Default: ignore.
+  virtual void set_node_up(bool up) { (void)up; }
 };
 
 /// A transport endpoint bound to a port (NS-2 "agent").

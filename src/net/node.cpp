@@ -32,7 +32,19 @@ void Node::bind_port(Port port, PortHandler* handler) {
 void Node::send(Packet p) {
   if (!p.ip) throw std::logic_error{"Node::send: packet lacks an IP header"};
   if (!routing_) throw std::logic_error{"Node::send: no routing agent installed"};
+  if (!up_) {
+    env_.trace(TraceAction::kDrop, TraceLayer::kAgent, id_, p, "DWN");
+    env_.metrics().add(id_, sim::Counter::kFaultTxSuppressed);
+    return;
+  }
   routing_->route_output(std::move(p));
+}
+
+void Node::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (mac_) mac_->set_link_up(up);
+  if (routing_) routing_->set_node_up(up);
 }
 
 void Node::deliver(Packet p) {

@@ -54,8 +54,17 @@ class Node {
   void unbind_port(Port port) { ports_.erase(port); }
 
   /// Entry point for transport agents: send a locally-originated packet.
-  /// The IP header must be set; routing takes it from here.
+  /// The IP header must be set; routing takes it from here. While the
+  /// node is crashed the packet is swallowed (traced as a "DWN" drop).
   void send(Packet p);
+
+  // --- fault state ---
+  /// Crash (`up == false`) or reboot this node: cascades into the MAC
+  /// (timers cancelled, interface queue flushed) and the routing agent
+  /// (state reset). The phy is powered off separately by the scenario's
+  /// fault hook, since the Node does not own it.
+  void set_up(bool up);
+  bool up() const noexcept { return up_; }
 
  private:
   void wire();
@@ -67,6 +76,7 @@ class Node {
   std::unique_ptr<MacLayer> mac_;
   std::unique_ptr<RoutingAgent> routing_;
   std::map<Port, PortHandler*> ports_;
+  bool up_{true};
 };
 
 }  // namespace eblnet::net

@@ -21,7 +21,27 @@ WirelessPhy::WirelessPhy(net::Env& env, net::NodeId owner, Channel& channel, Pos
   channel_.attach(this);
 }
 
-WirelessPhy::~WirelessPhy() { channel_.detach(this); }
+WirelessPhy::~WirelessPhy() {
+  if (!down_) channel_.detach(this);  // a crashed phy already detached
+}
+
+void WirelessPhy::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) {
+    // Quiet teardown: no COL/TXB accounting — the radio lost power.
+    rx_active_ = false;
+    rx_end_timer_.cancel();
+    rx_packet_.reset();
+    carrier_timer_.cancel();
+    tx_until_ = sim::Time{};
+    busy_until_ = sim::Time{};
+    carrier_was_busy_ = false;
+    channel_.detach(this);
+  } else {
+    channel_.attach(this);
+  }
+}
 
 void WirelessPhy::set_channel_id(std::uint32_t id) {
   if (id == channel_id_) return;
@@ -34,6 +54,7 @@ void WirelessPhy::set_channel_id(std::uint32_t id) {
 }
 
 void WirelessPhy::transmit(net::Packet p, sim::Time duration) {
+  if (down_) return;  // crashed radio: the frame evaporates
   if (transmitting()) throw std::logic_error{"WirelessPhy: already transmitting"};
   if (duration <= sim::Time::zero()) throw std::invalid_argument{"WirelessPhy: bad duration"};
   // Half duplex: whatever we were decoding is lost.
@@ -249,10 +270,10 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
     for (WirelessPhy* rx : phys_) consider(rx);
   }
 
-  schedule_deliveries(std::move(p), duration);
+  schedule_deliveries(sender.owner(), std::move(p), duration);
 }
 
-void Channel::schedule_deliveries(net::Packet p, sim::Time duration) {
+void Channel::schedule_deliveries(net::NodeId tx, net::Packet p, sim::Time duration) {
   for (std::size_t i = 0; i < scratch_.size(); ++i) {
     const Reachable& r = scratch_[i];
     // Clone into the pool (last receiver adopts by move): the scheduled
@@ -261,15 +282,15 @@ void Channel::schedule_deliveries(net::Packet p, sim::Time duration) {
     net::PooledPacket copy = i + 1 < scratch_.size() ? env_.packet_pool().clone(p)
                                                      : env_.packet_pool().adopt(std::move(p));
     env_.scheduler().schedule_in(
-        r.prop_delay, [ch = this, slot = r.slot, gen = r.generation, copy = std::move(copy),
-                       power = r.power_w, duration]() mutable {
-          ch->deliver(slot, gen, std::move(copy), power, duration);
+        r.prop_delay, [ch = this, slot = r.slot, gen = r.generation, tx,
+                       copy = std::move(copy), power = r.power_w, duration]() mutable {
+          ch->deliver(slot, gen, tx, std::move(copy), power, duration);
         });
   }
 }
 
-void Channel::deliver(std::uint32_t slot, std::uint32_t generation, net::PooledPacket p,
-                      double power_w, sim::Time duration) {
+void Channel::deliver(std::uint32_t slot, std::uint32_t generation, net::NodeId tx,
+                      net::PooledPacket p, double power_w, sim::Time duration) {
   // The receiver may have detached (and been destroyed) during the
   // propagation delay, and its slot may even hold a newer phy; either way
   // the generation mismatch (or empty slot) drops the signal. The pooled
@@ -277,6 +298,13 @@ void Channel::deliver(std::uint32_t slot, std::uint32_t generation, net::PooledP
   if (generations_[slot] != generation) return;
   WirelessPhy* rx = slots_[slot];
   if (rx == nullptr) return;
+  // Injected blackout / packet-error-rate faults veto receiver-side,
+  // after culling and liveness, so a fault-free run never pays more than
+  // this one predicted branch.
+  if (env_.faults().delivery_faults_active()) {
+    const mobility::Vec2 pos = rx->position();
+    if (env_.faults().drop_delivery(tx, rx->owner(), pos.x, pos.y)) return;
+  }
   rx->signal_start(std::move(p), power_w, duration);
 }
 

@@ -87,6 +87,15 @@ class WirelessPhy {
   std::uint32_t channel_id() const noexcept { return channel_id_; }
   void set_channel_id(std::uint32_t id);
 
+  /// Power the radio off (injected node crash) or back on. Off: the phy
+  /// detaches from the channel — its delivery slot's generation bump
+  /// kills every in-flight signal addressed to it, and the spatial grid
+  /// forgets it — any reception in progress evaporates (no collision
+  /// accounting: the radio is dead, not interfered with) and transmit
+  /// requests are swallowed. On: re-attach with a cold carrier state.
+  void set_down(bool down);
+  bool down() const noexcept { return down_; }
+
   // --- statistics ---
   std::uint64_t tx_count() const noexcept { return tx_count_; }
   std::uint64_t rx_ok_count() const noexcept { return rx_ok_count_; }
@@ -116,6 +125,7 @@ class WirelessPhy {
   PositionFn position_;
   PhyParams params_;
   std::uint32_t channel_id_{0};
+  bool down_{false};
 
   sim::Time tx_until_{};
   sim::Time busy_until_{};
@@ -227,9 +237,9 @@ class Channel {
   void rebuild_grid();
   void rebucket_all();
   double query_radius() const noexcept;
-  void deliver(std::uint32_t slot, std::uint32_t generation, net::PooledPacket p,
-               double power_w, sim::Time duration);
-  void schedule_deliveries(net::Packet p, sim::Time duration);
+  void deliver(std::uint32_t slot, std::uint32_t generation, net::NodeId tx,
+               net::PooledPacket p, double power_w, sim::Time duration);
+  void schedule_deliveries(net::NodeId tx, net::Packet p, sim::Time duration);
 
   net::Env& env_;
   std::shared_ptr<PropagationModel> propagation_;

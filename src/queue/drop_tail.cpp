@@ -13,6 +13,22 @@ bool DropTailQueue::enqueue(net::Packet p) {
     drop(std::move(p), "IFQ");
     return false;
   }
+  if (!net::is_routing_control(p.type)) {
+    switch (chaos_verdict()) {
+      case sim::FaultController::ChaosAction::kCorrupt:
+        metric(sim::Counter::kFaultCorruptions);
+        drop(std::move(p), "CRP");
+        return false;
+      case sim::FaultController::ChaosAction::kReorder:
+        metric(sim::Counter::kFaultReorders);
+        q_.push_front(std::move(p));
+        metric(sim::Counter::kIfqEnqueued);
+        metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q_.size()));
+        return true;
+      case sim::FaultController::ChaosAction::kNone:
+        break;
+    }
+  }
   q_.push_back(std::move(p));
   metric(sim::Counter::kIfqEnqueued);
   metric_sample(sim::Gauge::kIfqDepth, static_cast<double>(q_.size()));
@@ -41,6 +57,14 @@ std::vector<net::Packet> DropTailQueue::remove_by_next_hop(net::NodeId next_hop)
   }
   metric(sim::Counter::kIfqRemoved, removed.size());
   return removed;
+}
+
+std::vector<net::Packet> DropTailQueue::flush_all() {
+  std::vector<net::Packet> flushed;
+  flushed.reserve(q_.size());
+  while (!q_.empty()) flushed.push_back(q_.pop_front());
+  metric(sim::Counter::kIfqFaultFlushed, flushed.size());
+  return flushed;
 }
 
 void DropTailQueue::drop(net::Packet p, const char* reason) {

@@ -16,6 +16,7 @@ class DropTailQueue : public net::PacketQueue {
   std::optional<net::Packet> dequeue() override;
   const net::Packet* peek() const override;
   std::vector<net::Packet> remove_by_next_hop(net::NodeId next_hop) override;
+  std::vector<net::Packet> flush_all() override;
   std::size_t length() const override { return q_.size(); }
   std::uint64_t drop_count() const override { return drops_; }
   void set_drop_callback(DropCallback cb) override { drop_cb_ = std::move(cb); }

@@ -39,6 +39,20 @@ bool RedQueue::enqueue(net::Packet p) {
     drop(std::move(p), "IFQ", forced_drops_);
     return false;
   }
+  bool reorder = false;
+  if (!net::is_routing_control(p.type)) {
+    switch (chaos_verdict()) {
+      case sim::FaultController::ChaosAction::kCorrupt:
+        metric(sim::Counter::kFaultCorruptions);
+        drop(std::move(p), "CRP", forced_drops_);
+        return false;
+      case sim::FaultController::ChaosAction::kReorder:
+        reorder = true;
+        break;
+      case sim::FaultController::ChaosAction::kNone:
+        break;
+    }
+  }
   if (!protected_pkt && avg_ >= params_.min_thresh) {
     ++count_since_drop_;
     if (rng_.chance(drop_probability())) {
@@ -47,7 +61,8 @@ bool RedQueue::enqueue(net::Packet p) {
       return false;
     }
   }
-  if (protected_pkt) {
+  if (protected_pkt || reorder) {
+    if (reorder) metric(sim::Counter::kFaultReorders);
     q_.push_front(std::move(p));
   } else {
     q_.push_back(std::move(p));
@@ -79,6 +94,14 @@ std::vector<net::Packet> RedQueue::remove_by_next_hop(net::NodeId next_hop) {
   }
   metric(sim::Counter::kIfqRemoved, removed.size());
   return removed;
+}
+
+std::vector<net::Packet> RedQueue::flush_all() {
+  std::vector<net::Packet> flushed;
+  flushed.reserve(q_.size());
+  while (!q_.empty()) flushed.push_back(q_.pop_front());
+  metric(sim::Counter::kIfqFaultFlushed, flushed.size());
+  return flushed;
 }
 
 void RedQueue::drop(net::Packet p, const char* reason, std::uint64_t& counter) {

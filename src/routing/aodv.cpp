@@ -28,6 +28,30 @@ void Aodv::attach_mac(net::MacLayer* mac) {
   if (!mac_->detects_link_failures()) start_hello();
 }
 
+void Aodv::set_node_up(bool up) {
+  if (!up) {
+    // Injected crash: a rebooted router remembers nothing — every route,
+    // neighbour, pending discovery and buffered packet is gone, so AODV
+    // must re-discover from scratch (the resilience bench measures this).
+    table_ = RoutingTable{};
+    discoveries_.clear();
+    buffer_.clear();
+    neighbors_.clear();
+    rreq_cache_.clear();
+    hello_timer_.cancel();
+    reroute_pending_ = false;
+    return;
+  }
+  if (mac_ != nullptr && !mac_->detects_link_failures()) start_hello();
+}
+
+void Aodv::note_discovery_completed() {
+  if (!reroute_pending_) return;
+  reroute_pending_ = false;
+  env_.metrics().sample(self_, sim::Gauge::kAodvRerouteSeconds,
+                        (env_.now() - link_failed_at_).to_seconds());
+}
+
 // ---------------------------------------------------------------------------
 // Data plane
 // ---------------------------------------------------------------------------
@@ -172,6 +196,7 @@ void Aodv::on_discovery_timeout(net::NodeId dst) {
   if (table_.lookup_valid(dst, env_.now()) != nullptr) {
     env_.metrics().sample(self_, sim::Gauge::kAodvRouteAcquisitionSeconds,
                           (env_.now() - d.started).to_seconds());
+    note_discovery_completed();
     discoveries_.erase(it);
     flush_buffer(dst);
     return;
@@ -289,6 +314,7 @@ void Aodv::handle_rrep(net::Packet p) {
     if (it != discoveries_.end()) {
       env_.metrics().sample(self_, sim::Gauge::kAodvRouteAcquisitionSeconds,
                             (env_.now() - it->second->started).to_seconds());
+      note_discovery_completed();
       discoveries_.erase(it);
     }
     flush_buffer(h.dst);
@@ -367,6 +393,10 @@ void Aodv::on_tx_fail(const net::Packet& p) {
 
 void Aodv::handle_link_failure(net::NodeId next_hop) {
   ++stats_.link_failures;
+  if (!reroute_pending_) {
+    reroute_pending_ = true;
+    link_failed_at_ = env_.now();
+  }
   neighbors_.erase(next_hop);
   std::vector<net::AodvRerrHeader::Unreachable> lost;
   bool notify = false;

@@ -77,6 +77,7 @@ class Aodv final : public net::RoutingAgent {
   void route_input(net::Packet p) override;
   void set_deliver_callback(DeliverCallback cb) override { deliver_ = std::move(cb); }
   void attach_mac(net::MacLayer* mac) override;
+  void set_node_up(bool up) override;
 
   // --- introspection ---
   const AodvStats& stats() const noexcept { return stats_; }
@@ -155,6 +156,13 @@ class Aodv final : public net::RoutingAgent {
 
   sim::Timer hello_timer_;
   sim::Timer purge_timer_;
+
+  /// Resilience accounting: the next completed discovery after a link
+  /// failure samples Gauge::kAodvRerouteSeconds (failure -> replacement
+  /// route installed).
+  bool reroute_pending_{false};
+  sim::Time link_failed_at_{};
+  void note_discovery_completed();
 
   AodvStats stats_;
 };

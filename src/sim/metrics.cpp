@@ -39,6 +39,7 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"ifq_dropped", "ifq"},
     {"ifq_red_early_drops", "ifq"},
     {"ifq_removed", "ifq"},
+    {"ifq_fault_flushed", "ifq"},
     {"ifq_residual", "ifq"},
 
     {"aodv_rreq_sent", "routing"},
@@ -59,12 +60,20 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
 
     {"app_messages_generated", "app"},
     {"app_messages_delivered", "app"},
+
+    {"fault_crashes", "fault"},
+    {"fault_reboots", "fault"},
+    {"fault_injected_drops", "fault"},
+    {"fault_corruptions", "fault"},
+    {"fault_reorders", "fault"},
+    {"fault_tx_suppressed", "fault"},
 };
 
 constexpr const char* kGaugeNames[kGaugeCount] = {
     "ifq_depth",
     "aodv_route_acquisition_s",
     "tcp_cwnd",
+    "aodv_reroute_after_failure_s",
 };
 
 }  // namespace

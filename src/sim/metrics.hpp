@@ -44,6 +44,7 @@ enum class Counter : std::uint16_t {
   kIfqDropped,   ///< tail drops + RED early drops + displaced victims
   kIfqRedEarlyDrops, ///< subset of kIfqDropped: RED probabilistic drops
   kIfqRemoved,   ///< packets flushed by routing after a link failure
+  kIfqFaultFlushed, ///< packets flushed by an injected node crash
   kIfqResidual,  ///< packets still queued when the snapshot was taken
 
   // --- routing (AODV) ---
@@ -68,6 +69,14 @@ enum class Counter : std::uint16_t {
   kAppMessagesGenerated, ///< CBR messages offered to the TCP sender
   kAppMessagesDelivered, ///< new (non-duplicate) data packets at the sink
 
+  // --- fault injection (sim::FaultController) ---
+  kFaultCrashes,       ///< node-crash events applied to this node
+  kFaultReboots,       ///< reboots after a crash with a duration
+  kFaultInjectedDrops, ///< channel deliveries vetoed (blackout / PER)
+  kFaultCorruptions,   ///< queue-chaos packets corrupted (dropped "CRP")
+  kFaultReorders,      ///< queue-chaos packets pushed to the queue head
+  kFaultTxSuppressed,  ///< app sends swallowed while the node was down
+
   kCount
 };
 
@@ -77,6 +86,7 @@ enum class Gauge : std::uint16_t {
   kIfqDepth,                   ///< queue length sampled at each accepted enqueue
   kAodvRouteAcquisitionSeconds,///< discovery start -> first route installed
   kTcpCwnd,                    ///< congestion window sampled at each new ACK
+  kAodvRerouteSeconds,         ///< link failure -> replacement route installed
   kCount
 };
 
@@ -88,7 +98,7 @@ const char* counter_name(Counter c) noexcept;
 const char* gauge_name(Gauge g) noexcept;
 
 /// Layer bucket for the manifest's per-layer grouping: "phy", "mac",
-/// "ifq", "routing", "transport" or "app".
+/// "ifq", "routing", "transport", "app" or "fault".
 const char* counter_layer(Counter c) noexcept;
 
 /// Running min/max/sum/count of a sampled gauge.

@@ -171,12 +171,21 @@ core::TrialResult quick_trial() {
       .run("schema-check");
 }
 
+core::TrialResult quick_faulted_trial() {
+  return core::ScenarioBuilder::trial1()
+      .metrics()
+      .duration(sim::Time::seconds(std::int64_t{16}))
+      .with_faults(sim::FaultPlan{}.blackout(sim::Time::seconds(std::int64_t{3}),
+                                             sim::Time::seconds(std::int64_t{1})))
+      .run("schema-check-faulted");
+}
+
 }  // namespace
 
 TEST(ManifestSchemaTest, TrialManifestMatchesGolden) {
   std::ostringstream ss;
   core::report::write_json(ss, quick_trial());
-  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_trial_v1.keys");
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_trial_v2.keys");
 }
 
 TEST(ManifestSchemaTest, SweepManifestMatchesGolden) {
@@ -184,7 +193,21 @@ TEST(ManifestSchemaTest, SweepManifestMatchesGolden) {
   const core::TrialResult trials[] = {r, r};
   std::ostringstream ss;
   core::report::write_sweep_json(ss, "schema-sweep", trials);
-  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_sweep_v1.keys");
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_sweep_v2.keys");
+}
+
+TEST(ManifestSchemaTest, ResilienceManifestMatchesGolden) {
+  const core::TrialResult baselines[] = {quick_trial()};
+  core::report::ResilienceCell cell;
+  cell.label = "blackout=1.0s";
+  cell.axis = "blackout_s";
+  cell.value = 1.0;
+  cell.baseline_initial_delay_s = baselines[0].p1_initial_packet_delay_s;
+  cell.result = quick_faulted_trial();
+  const core::report::ResilienceCell cells[] = {cell};
+  std::ostringstream ss;
+  core::report::write_resilience_json(ss, "schema-resilience", baselines, cells);
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_resilience_v2.keys");
 }
 
 TEST(ManifestSchemaTest, SchemaVersionIsDeclared) {

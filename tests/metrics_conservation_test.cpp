@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario_builder.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 
 using namespace eblnet;
@@ -19,7 +20,7 @@ core::TrialResult run_with_metrics(core::ScenarioBuilder builder, const char* na
   return builder.metrics().duration(sim::Time::seconds(std::int64_t{32})).run(name);
 }
 
-void check_identities(const core::TrialResult& r) {
+void check_identities(const core::TrialResult& r, bool faulted = false) {
   const core::TrialMetrics& m = r.metrics;
   ASSERT_TRUE(m.enabled);
   ASSERT_GT(m.nodes, 0u);
@@ -43,16 +44,24 @@ void check_identities(const core::TrialResult& r) {
   // The application cannot deliver more unique messages than were offered.
   EXPECT_LE(m.total(Counter::kAppMessagesDelivered), m.total(Counter::kAppMessagesGenerated));
 
-  // Queue conservation, exact and per node: every packet that entered an
-  // interface queue either left through the MAC, was dropped, was flushed
-  // by routing, or was still sitting there when the snapshot was taken.
+  // Queue conservation, exact and per node — faults included: every
+  // packet offered to an interface queue either left through the MAC, was
+  // dropped, was flushed by routing, was flushed by a fault (a crash or
+  // blackout emptying the queue mid-flight — its own reason, not a
+  // regular drop), or was still sitting there when the snapshot was
+  // taken. Corrupted packets (queue chaos) are refused at the door —
+  // dropped without ever counting as enqueued — so they join the offered
+  // side. In a fault-free run both fault terms are exactly zero and this
+  // is the original identity.
   for (std::uint32_t node = 0; node < m.nodes; ++node) {
-    const std::uint64_t in = m.node_counter(node, Counter::kIfqEnqueued);
+    const std::uint64_t offered = m.node_counter(node, Counter::kIfqEnqueued) +
+                                  m.node_counter(node, Counter::kFaultCorruptions);
     const std::uint64_t out = m.node_counter(node, Counter::kIfqDequeued) +
                               m.node_counter(node, Counter::kIfqDropped) +
                               m.node_counter(node, Counter::kIfqRemoved) +
+                              m.node_counter(node, Counter::kIfqFaultFlushed) +
                               m.node_counter(node, Counter::kIfqResidual);
-    EXPECT_EQ(in, out) << "queue conservation violated at node " << node;
+    EXPECT_EQ(offered, out) << "queue conservation violated at node " << node;
   }
 
   // RED early drops are a subset of all drops.
@@ -62,8 +71,19 @@ void check_identities(const core::TrialResult& r) {
   EXPECT_EQ(m.gauge(Gauge::kIfqDepth).count, m.total(Counter::kIfqEnqueued));
 
   // The metrics view agrees with the trace-derived counters TrialResult
-  // has always carried.
-  EXPECT_EQ(m.total(Counter::kIfqDropped), r.ifq_drops);
+  // has always carried: every ifq-layer drop record is a queue drop
+  // ("IFQ"/"RED"/"CRP"), a routing flush ("LNK"), or a fault flush
+  // ("FLT"). Faulted runs can additionally drop unresolved ARP holds,
+  // which trace at the ifq layer without a queue counter, so there the
+  // trace side may only exceed the metric side.
+  const std::uint64_t accounted_drops = m.total(Counter::kIfqDropped) +
+                                        m.total(Counter::kIfqRemoved) +
+                                        m.total(Counter::kIfqFaultFlushed);
+  if (faulted) {
+    EXPECT_GE(r.ifq_drops, accounted_drops);
+  } else {
+    EXPECT_EQ(accounted_drops, r.ifq_drops);
+  }
   // The trace counter only sees "COL" drop records; the metric also
   // classifies receptions aborted by our own transmit ("TXB") as
   // collisions, so the two reconcile exactly through that counter.
@@ -83,6 +103,27 @@ TEST(MetricsConservationTest, Trial2TdmaSmallPackets) {
 
 TEST(MetricsConservationTest, Trial3Dot11) {
   check_identities(run_with_metrics(core::ScenarioBuilder::trial3(), "trial3/metrics"));
+}
+
+TEST(MetricsConservationTest, ConservationHoldsExactlyUnderFaultFlushes) {
+  // Crash the TCP source mid-conversation (its TDMA queue holds packets
+  // waiting for a slot, so the crash flushes them in-flight) and corrupt/
+  // reorder everything entering its queue around the crash: the per-node
+  // conservation identity must still balance to the packet, with the
+  // flushed and corrupted packets showing up under their own counters
+  // rather than leaking or double-counting as ordinary drops.
+  const sim::FaultPlan plan =
+      sim::FaultPlan{}
+          .crash(/*node=*/0, sim::Time::seconds(4.0), /*reboot_after=*/sim::Time::seconds(3.0))
+          .queue_chaos(/*node=*/0, sim::Time::seconds(2.0), sim::Time::seconds(20.0),
+                       /*probability=*/0.5);
+  const core::TrialResult r = run_with_metrics(
+      core::ScenarioBuilder::trial1().with_faults(plan), "trial1/fault-flush");
+  check_identities(r, /*faulted=*/true);
+  const core::TrialMetrics& m = r.metrics;
+  EXPECT_GT(m.total(Counter::kIfqFaultFlushed), 0u) << "crash never caught a non-empty queue";
+  EXPECT_GT(m.total(Counter::kFaultCorruptions), 0u);
+  EXPECT_GT(m.total(Counter::kFaultReorders), 0u);
 }
 
 TEST(MetricsConservationTest, MetricsOffLeavesResultEmpty) {

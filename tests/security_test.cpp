@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
-#include "app/jammer.hpp"
+#include <stdexcept>
+
 #include "phy/fhss.hpp"
+#include "sim/fault.hpp"
 #include "test_net.hpp"
 #include "transport/udp.hpp"
 
@@ -132,8 +134,29 @@ TEST(FhssTest, ValidatesArguments) {
 }
 
 // ---------------------------------------------------------------------------
-// Jammer
+// Jamming (kRfJam faults: the FaultController paces the duty cycle, the
+// embedder radiates each burst from a phy it owns via the jam-burst hook)
 // ---------------------------------------------------------------------------
+
+/// Arm a duty-cycled jammer on `radio`: `burst` of noise every `period`,
+/// for `duration` (zero = the whole run).
+void arm_jammer(eblnet::testing::TestNet& net, WirelessPhy& radio, Time burst, Time period,
+                Time duration = {}) {
+  net.env().faults().set_jam_burst_hook([&net, &radio](const sim::FaultEvent& e) {
+    if (radio.transmitting()) return;
+    net::Packet noise;
+    noise.uid = net.env().alloc_uid();
+    noise.type = net::PacketType::kNoise;
+    noise.created = net.env().now();
+    noise.mac.emplace();
+    noise.mac->src = radio.owner();
+    noise.mac->dst = net::kBroadcastAddress;
+    radio.transmit(std::move(noise), e.burst);
+  });
+  sim::FaultPlan plan;
+  plan.jam(Time::zero(), duration, period, burst);
+  net.env().install_faults(plan);
+}
 
 TEST(JammerTest, CorruptsSingleChannelTraffic) {
   eblnet::testing::TestNet net;
@@ -146,14 +169,13 @@ TEST(JammerTest, CorruptsSingleChannelTraffic) {
   b.set_rx_callback([&](net::Packet) { ++got; });
 
   // Near-continuous jamming: 9 ms bursts every 10 ms.
-  app::Jammer jammer{net.env(), net.phy(2), 9_ms, 10_ms};
-  jammer.start();
+  arm_jammer(net, net.phy(2), 9_ms, 10_ms);
   for (int i = 0; i < 50; ++i) a.enqueue(frame(net.env(), 1));
   net.run_for(1_s);
 
   EXPECT_LT(got, 10);  // traffic essentially destroyed
   EXPECT_GT(net.phy(1).rx_collision_count(), 10u);
-  EXPECT_GT(jammer.bursts_sent(), 50u);
+  EXPECT_GT(net.env().faults().jam_bursts(), 50u);
 }
 
 TEST(JammerTest, FhssEvadesFixedFrequencyJammer) {
@@ -168,8 +190,7 @@ TEST(JammerTest, FhssEvadesFixedFrequencyJammer) {
   int got = 0;
   b.set_rx_callback([&](net::Packet) { ++got; });
 
-  app::Jammer jammer{net.env(), net.phy(2), 9_ms, 10_ms};  // fixed channel 0
-  jammer.start();
+  arm_jammer(net, net.phy(2), 9_ms, 10_ms);  // fixed channel 0
   FhssHopper hopper{net.env(), {&net.phy(0), &net.phy(1)}, 8, 50_ms, 99};
   hopper.start();
   for (int i = 0; i < 50; ++i) a.enqueue(frame(net.env(), 1));
@@ -178,26 +199,32 @@ TEST(JammerTest, FhssEvadesFixedFrequencyJammer) {
   EXPECT_GT(got, 25);  // the hop schedule dodges the jammer
 }
 
-TEST(JammerTest, DutyCycleAndValidation) {
+TEST(JammerTest, JamPlanValidation) {
   eblnet::testing::TestNet net;
   net.add_node({0.0, 0.0});
-  app::Jammer j{net.env(), net.phy(0), 2_ms, 10_ms};
-  EXPECT_DOUBLE_EQ(j.duty_cycle(), 0.2);
-  EXPECT_THROW(app::Jammer(net.env(), net.phy(0), Time::zero(), 10_ms),
+
+  sim::FaultPlan zero_burst;
+  zero_burst.jam(Time::zero(), /*duration=*/{}, 10_ms, Time::zero());
+  sim::FaultController c1;
+  EXPECT_THROW(c1.install(zero_burst, net.env().scheduler(), nullptr, 1),
                std::invalid_argument);
-  EXPECT_THROW(app::Jammer(net.env(), net.phy(0), 10_ms, 2_ms), std::invalid_argument);
+
+  sim::FaultPlan burst_exceeds_period;
+  burst_exceeds_period.jam(Time::zero(), /*duration=*/{}, 2_ms, 10_ms);
+  sim::FaultController c2;
+  EXPECT_THROW(c2.install(burst_exceeds_period, net.env().scheduler(), nullptr, 1),
+               std::invalid_argument);
 }
 
-TEST(JammerTest, StopSilencesTheJammer) {
+TEST(JammerTest, FiniteDurationSilencesTheJammer) {
   eblnet::testing::TestNet net;
   net.add_node({0.0, 0.0});
-  app::Jammer j{net.env(), net.phy(0), 1_ms, 10_ms};
-  j.start();
+  arm_jammer(net, net.phy(0), 1_ms, 10_ms, /*duration=*/100_ms);
   net.run_for(100_ms);
-  j.stop();
-  const auto bursts = j.bursts_sent();
+  const auto bursts = net.env().faults().jam_bursts();
+  EXPECT_GT(bursts, 0u);
   net.run_for(100_ms);
-  EXPECT_EQ(j.bursts_sent(), bursts);
+  EXPECT_EQ(net.env().faults().jam_bursts(), bursts);
 }
 
 TEST(JammerTest, NoiseNeverReachesUpperLayers) {
@@ -206,8 +233,7 @@ TEST(JammerTest, NoiseNeverReachesUpperLayers) {
   net.add_node({10.0, 0.0});
   int delivered = 0;
   a.set_rx_callback([&](net::Packet) { ++delivered; });
-  app::Jammer j{net.env(), net.phy(1), 1_ms, 5_ms};
-  j.start();
+  arm_jammer(net, net.phy(1), 1_ms, 5_ms);
   net.run_for(500_ms);
   EXPECT_EQ(delivered, 0);
   EXPECT_GT(net.phy(0).rx_ok_count(), 10u);  // decoded, but filtered as noise

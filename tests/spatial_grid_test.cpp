@@ -7,6 +7,7 @@
 #include "mobility/vehicle.hpp"
 #include "phy/spatial_grid.hpp"
 #include "phy/wireless_phy.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 #include "test_net.hpp"
 
@@ -226,6 +227,49 @@ TEST_F(DetachFixture, RecycledSlotDoesNotReceiveThePreviousOccupantsSignal) {
   EXPECT_FALSE(replacement_heard);
   EXPECT_EQ(replacement->rx_ok_count(), 0u);
   EXPECT_FALSE(replacement->carrier_busy());
+}
+
+// ---------------------------------------------------------------------------
+// Crash faults vs the grid: a crashed node leaves the grid mid-flight
+// ---------------------------------------------------------------------------
+
+TEST(SpatialGridFaults, CrashedNodeNeverHearsInFlightDeliveries) {
+  // A fault-plan crash lands between a transmit and its arrival: the
+  // detach must invalidate the receiver's grid slot so the in-flight
+  // delivery dies, and the reboot must re-attach it so later traffic is
+  // heard — the same liveness contract the dangling-receiver tests above
+  // establish for destruction, now driven through sim::FaultController.
+  net::Env env{1};
+  Channel channel{env, std::make_shared<TwoRayGround>(), grid_forced()};
+  const auto mk = [&](net::NodeId id, mobility::Vec2 pos) {
+    return std::make_unique<WirelessPhy>(
+        env, id, channel, [pos] { return pos; }, PhyParams{});
+  };
+  auto tx = mk(0, {0.0, 0.0});
+  auto rx = mk(1, {100.0, 0.0});  // propagation delay ~334 ns
+  int heard = 0;
+  rx->set_rx_end_callback([&](net::Packet, bool) { ++heard; });
+  env.faults().set_node_state_hook([&](std::uint32_t node, bool up) {
+    if (node == 1) rx->set_down(!up);
+  });
+  env.install_faults(sim::FaultPlan{}.crash(/*node=*/1, Time::nanoseconds(100),
+                                            /*reboot_after=*/Time::milliseconds(5)));
+  ASSERT_TRUE(channel.grid_active());
+
+  // Transmitted at t = 0, arriving at ~334 ns — after the crash at 100 ns.
+  tx->transmit(make_packet(7), 1_ms);
+  env.scheduler().run_until(Time::milliseconds(4));
+  EXPECT_TRUE(env.faults().node_down(1));
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(rx->rx_ok_count(), 0u);
+
+  // After the reboot the node has rejoined the grid and hears again.
+  env.scheduler().run_until(Time::milliseconds(6));
+  EXPECT_FALSE(env.faults().node_down(1));
+  tx->transmit(make_packet(8), 1_ms);
+  env.scheduler().run_until(Time::milliseconds(10));
+  EXPECT_EQ(heard, 1);
+  EXPECT_EQ(rx->rx_ok_count(), 1u);
 }
 
 // ---------------------------------------------------------------------------
