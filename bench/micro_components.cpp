@@ -192,14 +192,17 @@ void BM_ChannelBroadcast(benchmark::State& state) {
   // One broadcast through the channel: candidate selection plus delivery
   // scheduling for a highway line of N radios at 100 m spacing (roughly
   // 11 of them inside the default 550 m carrier-sense range of the
-  // sender). Arg 0 is N; arg 1 selects the flat O(N) scan (0) or the
-  // spatial grid (1) — the pair shows what the grid saves per transmit.
+  // sender). Arg 0 is N; arg 1 selects the leg — 0: flat O(N) scan,
+  // 1: spatial grid with the exact per-candidate filter, 2: grid with
+  // the batched SoA cull pipeline. The triple shows what the grid saves
+  // per transmit and what the SoA sweep saves on top.
   const auto n = static_cast<std::size_t>(state.range(0));
-  const bool use_grid = state.range(1) != 0;
+  const auto leg = state.range(1);
 
   net::Env env{1};
   phy::ChannelParams params;
-  params.grid_min_phys = use_grid ? 0 : static_cast<std::size_t>(-1);
+  params.grid_min_phys = leg != 0 ? 0 : static_cast<std::size_t>(-1);
+  params.batch_cull = leg == 2;
   phy::Channel channel{env, std::make_shared<phy::TwoRayGround>(), params};
   std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
   phys.reserve(n);
@@ -221,7 +224,15 @@ void BM_ChannelBroadcast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ChannelBroadcast)->Args({64, 0})->Args({64, 1})->Args({1024, 0})->Args({1024, 1});
+BENCHMARK(BM_ChannelBroadcast)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({16384, 1})
+    ->Args({16384, 2});
 
 void BM_FullScenarioSecond(benchmark::State& state) {
   // Wall-clock cost of one simulated second of the paper scenario.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -25,6 +26,20 @@ class PropagationModel {
   /// and never consume the Rng stream.
   virtual double envelope_rx_power(double tx_power_w, double distance_m) const {
     return rx_power(tx_power_w, distance_m);
+  }
+
+  /// Batched envelope: `out_w[i] = envelope_rx_power(tx_power_w,
+  /// distances_m[i])` for i in [0, n) — one virtual dispatch per batch
+  /// instead of per pair. The channel's phase-1 cull uses this to refine
+  /// the conservative per-phy radius test against the sender's actual
+  /// transmit power over the surviving candidates' contiguous distance
+  /// array. Overrides must be value-identical to the scalar envelope
+  /// (same formula, same operation order), never draw from an Rng, and
+  /// keep the inner loop branch-light. The base implementation just loops
+  /// the scalar call.
+  virtual void envelope_rx_power_batch(double tx_power_w, const double* distances_m,
+                                       double* out_w, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) out_w[i] = envelope_rx_power(tx_power_w, distances_m[i]);
   }
 
   /// Distance at which the envelope drops to `threshold_w` (bisection over
@@ -66,6 +81,11 @@ class TwoRayGround : public PropagationModel {
                double gr = 1.0, double loss = 1.0);
   double rx_power(double tx_power_w, double distance_m) const override;
 
+  /// Branch-light batch of the (deterministic) envelope — value-identical
+  /// to rx_power, one predictable crossover branch per pair.
+  void envelope_rx_power_batch(double tx_power_w, const double* distances_m, double* out_w,
+                               std::size_t n) const override;
+
   double crossover_distance() const noexcept { return crossover_; }
 
  private:
@@ -92,6 +112,9 @@ class NakagamiFading : public PropagationModel {
   /// Mean (two-ray) power times the fade margin — never a faded draw, so
   /// culling against it is purely geometric and leaves the Rng untouched.
   double envelope_rx_power(double tx_power_w, double distance_m) const override;
+  /// Batched fade-margin envelope over the mean model; draws nothing.
+  void envelope_rx_power_batch(double tx_power_w, const double* distances_m, double* out_w,
+                               std::size_t n) const override;
 
   double m() const noexcept { return m_; }
 

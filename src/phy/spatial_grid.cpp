@@ -1,6 +1,5 @@
 #include "phy/spatial_grid.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,11 +7,27 @@
 
 namespace eblnet::phy {
 
+void SpatialGrid::Bucket::clear() noexcept {
+  phys.clear();
+  x.clear();
+  y.clear();
+  cull_r2.clear();
+  cs_w.clear();
+  seq.clear();
+  slot.clear();
+  chan.clear();
+}
+
 SpatialGrid::SpatialGrid(double cell_size_m) { reset(cell_size_m); }
 
 void SpatialGrid::reset(double cell_size_m) {
   if (!(cell_size_m > 0.0)) throw std::invalid_argument{"SpatialGrid: cell size must be > 0"};
-  for (auto& [k, bucket] : cells_) bucket.clear();
+  for (auto& [k, bucket] : cells_) {
+    // Unhook live phys so a remove/update that arrives before their
+    // re-insertion is a clean no-op instead of indexing a cleared bucket.
+    for (WirelessPhy* phy : bucket.phys) phy->grid_bucketed_ = false;
+    bucket.clear();
+  }
   size_ = 0;
   cell_ = cell_size_m;
   inv_cell_ = 1.0 / cell_size_m;
@@ -25,19 +40,46 @@ std::int32_t SpatialGrid::coord(double v) const noexcept {
 void SpatialGrid::insert(WirelessPhy* phy, mobility::Vec2 pos) {
   phy->grid_cx_ = coord(pos.x);
   phy->grid_cy_ = coord(pos.y);
+  Bucket& b = cells_[key(phy->grid_cx_, phy->grid_cy_)];
+  phy->grid_idx_ = static_cast<std::uint32_t>(b.count());
   phy->grid_bucketed_ = true;
-  cells_[key(phy->grid_cx_, phy->grid_cy_)].push_back(phy);
+  b.phys.push_back(phy);
+  b.x.push_back(pos.x);
+  b.y.push_back(pos.y);
+  b.cull_r2.push_back(phy->grid_cull_r2_);
+  b.cs_w.push_back(phy->params().cs_threshold_w);
+  b.seq.push_back(phy->attach_seq_);
+  b.slot.push_back(phy->chan_slot_);
+  b.chan.push_back(phy->channel_id());
   ++size_;
 }
 
 void SpatialGrid::remove(WirelessPhy* phy) {
   if (!phy->grid_bucketed_) return;
-  Bucket& bucket = cells_.at(key(phy->grid_cx_, phy->grid_cy_));
-  const auto it = std::find(bucket.begin(), bucket.end(), phy);
-  // Swap-remove: in-bucket order is irrelevant, collect() sorts by attach
-  // sequence.
-  *it = bucket.back();
-  bucket.pop_back();
+  Bucket& b = cells_.at(key(phy->grid_cx_, phy->grid_cy_));
+  const std::size_t i = phy->grid_idx_;
+  const std::size_t last = b.count() - 1;
+  if (i != last) {
+    // Swap-remove across every parallel array: in-bucket order is
+    // irrelevant, the channel sorts survivors by attach sequence.
+    b.phys[i] = b.phys[last];
+    b.phys[i]->grid_idx_ = static_cast<std::uint32_t>(i);
+    b.x[i] = b.x[last];
+    b.y[i] = b.y[last];
+    b.cull_r2[i] = b.cull_r2[last];
+    b.cs_w[i] = b.cs_w[last];
+    b.seq[i] = b.seq[last];
+    b.slot[i] = b.slot[last];
+    b.chan[i] = b.chan[last];
+  }
+  b.phys.pop_back();
+  b.x.pop_back();
+  b.y.pop_back();
+  b.cull_r2.pop_back();
+  b.cs_w.pop_back();
+  b.seq.pop_back();
+  b.slot.pop_back();
+  b.chan.pop_back();
   phy->grid_bucketed_ = false;
   --size_;
 }
@@ -45,17 +87,26 @@ void SpatialGrid::remove(WirelessPhy* phy) {
 void SpatialGrid::update(WirelessPhy* phy, mobility::Vec2 pos) {
   const std::int32_t cx = coord(pos.x);
   const std::int32_t cy = coord(pos.y);
-  if (phy->grid_bucketed_ && cx == phy->grid_cx_ && cy == phy->grid_cy_) return;
+  if (phy->grid_bucketed_ && cx == phy->grid_cx_ && cy == phy->grid_cy_) {
+    // Same cell: refresh the stored position so the SoA lane is never
+    // staler than one re-bucket period (the cull radii's mobility slack
+    // is sized to exactly that drift).
+    Bucket& b = cells_.at(key(cx, cy));
+    b.x[phy->grid_idx_] = pos.x;
+    b.y[phy->grid_idx_] = pos.y;
+    return;
+  }
   remove(phy);
-  phy->grid_cx_ = cx;
-  phy->grid_cy_ = cy;
-  phy->grid_bucketed_ = true;
-  cells_[key(cx, cy)].push_back(phy);
-  ++size_;
+  insert(phy, pos);
 }
 
-void SpatialGrid::collect(mobility::Vec2 center, double radius_m,
-                          std::vector<WirelessPhy*>& out) const {
+void SpatialGrid::set_channel(WirelessPhy* phy, std::uint32_t channel_id) {
+  if (!phy->grid_bucketed_) return;
+  cells_.at(key(phy->grid_cx_, phy->grid_cy_)).chan[phy->grid_idx_] = channel_id;
+}
+
+void SpatialGrid::collect(mobility::Vec2 center, double radius_m, const WirelessPhy* exclude,
+                          std::vector<GridCandidate>& out) const {
   out.clear();
   const std::int32_t cx = coord(center.x);
   const std::int32_t cy = coord(center.y);
@@ -64,12 +115,63 @@ void SpatialGrid::collect(mobility::Vec2 center, double radius_m,
     for (std::int32_t dy = -span; dy <= span; ++dy) {
       const auto it = cells_.find(key(cx + dx, cy + dy));
       if (it == cells_.end()) continue;
-      out.insert(out.end(), it->second.begin(), it->second.end());
+      const Bucket& b = it->second;
+      for (std::size_t i = 0; i < b.count(); ++i) {
+        if (b.phys[i] == exclude) continue;
+        const double ddx = b.x[i] - center.x;
+        const double ddy = b.y[i] - center.y;
+        out.push_back({b.seq[i], b.slot[i], b.phys[i], b.cs_w[i], ddx * ddx + ddy * ddy});
+      }
     }
   }
-  std::sort(out.begin(), out.end(), [](const WirelessPhy* a, const WirelessPhy* b) {
-    return a->attach_seq_ < b->attach_seq_;
-  });
+}
+
+std::uint64_t SpatialGrid::cull(mobility::Vec2 center, double radius_m, std::uint32_t tx_channel,
+                                const WirelessPhy* exclude,
+                                std::vector<GridCandidate>& out) const {
+  out.clear();
+  const std::int32_t cx = coord(center.x);
+  const std::int32_t cy = coord(center.y);
+  const auto span = static_cast<std::int32_t>(std::ceil(radius_m * inv_cell_));
+  std::uint64_t lanes = 0;
+  for (std::int32_t dx = -span; dx <= span; ++dx) {
+    for (std::int32_t dy = -span; dy <= span; ++dy) {
+      const auto it = cells_.find(key(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      const Bucket& b = it->second;
+      const std::size_t n = b.count();
+      if (n == 0) continue;
+      lanes += n;
+      if (keep_.size() < n) {
+        keep_.resize(n);
+        d2_.resize(n);
+      }
+      // Phase 1a: branch-free range² sweep over the contiguous arrays —
+      // the auto-vectorizable inner loop (no pointer derefs, no calls).
+      const double* xs = b.x.data();
+      const double* ys = b.y.data();
+      const double* r2 = b.cull_r2.data();
+      std::uint8_t* keep = keep_.data();
+      double* d2 = d2_.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ddx = xs[i] - center.x;
+        const double ddy = ys[i] - center.y;
+        const double dd = ddx * ddx + ddy * ddy;
+        d2[i] = dd;
+        keep[i] = static_cast<std::uint8_t>(dd <= r2[i]);
+      }
+      // Phase 1b: gather survivors (frequency-channel mismatches are
+      // deterministic rejects in the exact filter too, so culling them
+      // here consumes no randomness and changes no outcome).
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!keep[i]) continue;
+        if (b.chan[i] != tx_channel) continue;
+        if (b.phys[i] == exclude) continue;
+        out.push_back({b.seq[i], b.slot[i], b.phys[i], b.cs_w[i], d2[i]});
+      }
+    }
+  }
+  return lanes;
 }
 
 }  // namespace eblnet::phy

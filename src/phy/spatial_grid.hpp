@@ -10,18 +10,39 @@ namespace eblnet::phy {
 
 class WirelessPhy;
 
+/// One spatial-grid query hit, carrying everything the channel's delivery
+/// pipeline needs to order and filter the candidate *without touching the
+/// phy object*: the attach sequence (the delivery-order sort key), the
+/// channel liveness slot, the exact carrier-sense threshold for the
+/// phase-2 re-filter, and the squared distance to the candidate's
+/// *bucketed* position (the phase-1 cull geometry). The phy pointer is
+/// dereferenced only for survivors of the batched cull.
+struct GridCandidate {
+  std::uint64_t seq;        ///< attach sequence (stable delivery order)
+  std::uint32_t slot;       ///< channel delivery-liveness slot
+  WirelessPhy* phy;
+  double cs_threshold_w;    ///< exact per-receiver CS threshold (phase 2)
+  double bucket_dist2;      ///< dist² from query center to bucketed position
+};
+
 /// Uniform hash grid over phy positions — the channel's broadcast
 /// candidate index. Cells are square, keyed by floor(pos / cell), and
 /// sized by the channel to the maximum interference range plus a mobility
 /// slack, so a query only ever scans the 3x3 cell neighbourhood around
 /// the sender.
 ///
-/// The grid stores its per-phy bookkeeping (cached cell, attach sequence)
-/// inside WirelessPhy itself, so insert/update/remove are side-table-free.
-/// `collect` returns candidates **sorted by attach sequence**: iteration
-/// order is exactly the flat attach-order loop restricted to the cell
-/// neighbourhood, which is what keeps grid and flat delivery bit-identical
-/// for deterministic propagation models.
+/// Each cell bucket is a structure of parallel arrays (position x/y,
+/// per-phy squared cull radius, CS threshold, attach sequence, liveness
+/// slot, frequency channel, phy pointer), kept in sync by swap-remove on
+/// insert/update/remove. `cull` sweeps those contiguous arrays with a
+/// branch-free range² test — no pointer chasing, no virtual calls — so
+/// the phase-1 inner loop auto-vectorizes; `collect` is the exact-leg
+/// superset query over the same storage. Neither sorts: the channel runs
+/// one post-cull sort over the surviving candidates for both legs.
+///
+/// The grid stores its per-phy bookkeeping (cached cell, index within the
+/// bucket, cull radius) inside WirelessPhy itself, so insert/update/
+/// remove are side-table-free and O(1).
 class SpatialGrid {
  public:
   explicit SpatialGrid(double cell_size_m = 1.0);
@@ -30,22 +51,60 @@ class SpatialGrid {
   std::size_t size() const noexcept { return size_; }
 
   /// Drop every bucketed phy and adopt a new cell size (the channel
-  /// rebuilds after the interference range grows).
+  /// rebuilds after the interference range grows). Live phys still
+  /// bucketed are unhooked first (their `grid_bucketed_` flag clears), so
+  /// a later remove/update on them is safe without re-insertion.
   void reset(double cell_size_m);
 
+  /// Bucket `phy` at `pos`. The phy's channel bookkeeping (attach
+  /// sequence, slot, CS threshold, cull radius — see
+  /// `WirelessPhy::grid_cull_r2_`) is copied into the bucket's parallel
+  /// arrays; `set_channel` keeps the frequency-channel lane fresh if the
+  /// radio retunes while bucketed.
   void insert(WirelessPhy* phy, mobility::Vec2 pos);
   void remove(WirelessPhy* phy);
   /// Re-bucket `phy` if it crossed a cell boundary since it was last
-  /// inserted/updated; a no-op (two multiplies and a compare) otherwise.
+  /// inserted/updated; otherwise refresh its stored position in place
+  /// (the SoA lanes must never be staler than one re-bucket period — the
+  /// mobility slack baked into the cull radii covers exactly that drift).
   void update(WirelessPhy* phy, mobility::Vec2 pos);
+  /// Refresh the bucketed frequency-channel lane after a retune (no-op if
+  /// `phy` is not bucketed).
+  void set_channel(WirelessPhy* phy, std::uint32_t channel_id);
 
-  /// Clear `out` and append every phy bucketed in a cell overlapping the
-  /// disc (`center`, `radius_m`) — a superset of the phys actually within
-  /// `radius_m` — sorted by attach sequence.
-  void collect(mobility::Vec2 center, double radius_m, std::vector<WirelessPhy*>& out) const;
+  /// Exact-leg superset query: clear `out` and append a candidate for
+  /// every phy (except `exclude`) bucketed in a cell overlapping the disc
+  /// (`center`, `radius_m`) — unsorted; the channel sorts survivors by
+  /// attach sequence once, after culling.
+  void collect(mobility::Vec2 center, double radius_m, const WirelessPhy* exclude,
+               std::vector<GridCandidate>& out) const;
+
+  /// Phase-1 batched cull: clear `out` and append a candidate for every
+  /// phy in the neighbourhood whose bucketed position lies within its own
+  /// cull radius of `center` AND whose radio is tuned to `tx_channel`
+  /// (`exclude`d sender skipped). The distance test runs branch-free over
+  /// the bucket's contiguous arrays; per-phy cull radii already encode
+  /// the envelope-power threshold (range_for_threshold over the
+  /// deterministic envelope) plus the mobility slack, so a phy the exact
+  /// filter would accept is never culled. Returns the number of lanes
+  /// scanned (the `batch_culled` statistic is lanes minus survivors).
+  std::uint64_t cull(mobility::Vec2 center, double radius_m, std::uint32_t tx_channel,
+                     const WirelessPhy* exclude, std::vector<GridCandidate>& out) const;
 
  private:
-  using Bucket = std::vector<WirelessPhy*>;
+  /// Structure-of-arrays cell bucket; all vectors stay index-aligned.
+  struct Bucket {
+    std::vector<WirelessPhy*> phys;
+    std::vector<double> x, y;          ///< bucketed positions
+    std::vector<double> cull_r2;       ///< (envelope range for own CS + slack)²
+    std::vector<double> cs_w;          ///< exact CS threshold (phase-2 filter)
+    std::vector<std::uint64_t> seq;    ///< attach sequence
+    std::vector<std::uint32_t> slot;   ///< channel liveness slot
+    std::vector<std::uint32_t> chan;   ///< frequency channel id
+
+    std::size_t count() const noexcept { return phys.size(); }
+    void clear() noexcept;
+  };
 
   static std::uint64_t key(std::int32_t cx, std::int32_t cy) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
@@ -60,6 +119,11 @@ class SpatialGrid {
   /// sweep through a bounded strip of cells, so the map stays small and
   /// steady-state queries allocate nothing.
   std::unordered_map<std::uint64_t, Bucket> cells_;
+  /// Phase-1 scratch (mask + squared distances), reused across queries so
+  /// the cull never allocates at steady state. The grid is per-channel,
+  /// per-Env state, never shared across runner threads.
+  mutable std::vector<std::uint8_t> keep_;
+  mutable std::vector<double> d2_;
 };
 
 }  // namespace eblnet::phy

@@ -46,6 +46,7 @@ void WirelessPhy::set_down(bool down) {
 void WirelessPhy::set_channel_id(std::uint32_t id) {
   if (id == channel_id_) return;
   channel_id_ = id;
+  channel_.phy_channel_changed(this);  // keep the grid's SoA lane fresh
   if (rx_active_) abort_reception();
   // Energy on the old channel is invisible now (own tx keeps its slot:
   // the radio finishes the burst it started).
@@ -200,7 +201,10 @@ void Channel::attach(WirelessPhy* phy) {
     min_cs_threshold_w_ = phy->params().cs_threshold_w;
     range_dirty_ = true;
   }
-  if (grid_built_ && !range_dirty_) grid_.insert(phy, phy->position());
+  if (grid_built_ && !range_dirty_) {
+    phy->grid_cull_r2_ = cull_radius2_for(*phy);
+    grid_.insert(phy, phy->position());
+  }
 }
 
 void Channel::detach(WirelessPhy* phy) {
@@ -212,14 +216,27 @@ void Channel::detach(WirelessPhy* phy) {
   // extremes only widen the candidate neighbourhood, never miss a phy.
 }
 
-double Channel::query_radius() const noexcept {
+double Channel::mobility_slack() const noexcept {
   // Bucketed positions are at most grid_rebucket_period old, so the
   // farthest an in-range phy's bucket can sit from its true position is
   // the mobility slack; the epsilon absorbs range_for_threshold's
   // bisection rounding at the exact threshold distance.
-  const double slack =
-      params_.grid_max_speed_mps * params_.grid_rebucket_period.to_seconds() + 1e-6;
-  return interference_range_m_ + slack;
+  return params_.grid_max_speed_mps * params_.grid_rebucket_period.to_seconds() + 1e-6;
+}
+
+double Channel::query_radius() const noexcept { return interference_range_m_ + mobility_slack(); }
+
+double Channel::cull_radius2_for(const WirelessPhy& phy) const {
+  // Conservative per-phy phase-1 radius: beyond it, even the deterministic
+  // envelope at the maximum attached tx power is below this phy's own CS
+  // threshold, so the exact filter would reject the pair no matter where
+  // inside the staleness slack the phy really is. range_for_threshold is
+  // memoised per (power, threshold) pair — a handful of distinct CS
+  // thresholds means a handful of bisections per simulation.
+  const double r =
+      propagation_->range_for_threshold(max_tx_power_w_, phy.params().cs_threshold_w) +
+      mobility_slack();
+  return r * r;
 }
 
 void Channel::rebuild_grid() {
@@ -229,7 +246,10 @@ void Channel::rebuild_grid() {
   // Cell size == query radius: a query never scans beyond the 3x3
   // neighbourhood of the sender's cell.
   grid_.reset(query_radius());
-  for (WirelessPhy* phy : phys_) grid_.insert(phy, phy->position());
+  for (WirelessPhy* phy : phys_) {
+    phy->grid_cull_r2_ = cull_radius2_for(*phy);
+    grid_.insert(phy, phy->position());
+  }
   grid_built_ = true;
   last_rebucket_ = env_.now();
 }
@@ -238,6 +258,37 @@ void Channel::rebucket_all() {
   for (WirelessPhy* phy : phys_) grid_.update(phy, phy->position());
   last_rebucket_ = env_.now();
   ++grid_rebucket_count_;
+}
+
+void Channel::envelope_cull(double tx_power_w) {
+  const std::size_t n = candidates_.size();
+  if (n == 0) return;
+  // Conservative closest-possible distance per survivor: the bucketed
+  // position may sit up to the mobility slack from the true one, so the
+  // true distance is at least sqrt(bucket_dist2) - slack. The envelope is
+  // monotone non-increasing, so envelope(closest possible) below the CS
+  // threshold proves the exact filter rejects the pair — for
+  // deterministic models envelope IS rx_power; for fading models this is
+  // the established PR-4 envelope-cull discipline (culled pairs never
+  // draw a fade).
+  const double slack = mobility_slack();
+  cull_dist_.resize(n);
+  cull_power_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::sqrt(candidates_[i].bucket_dist2) - slack;
+    cull_dist_[i] = d > 0.0 ? d : 0.0;
+  }
+  propagation_->envelope_rx_power_batch(tx_power_w, cull_dist_.data(), cull_power_.data(), n);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cull_power_[i] < candidates_[i].cs_threshold_w) continue;
+    candidates_[kept++] = candidates_[i];
+  }
+  candidates_.resize(kept);
+}
+
+void Channel::phy_channel_changed(WirelessPhy* phy) {
+  if (grid_built_) grid_.set_channel(phy, phy->channel_id());
 }
 
 void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
@@ -257,6 +308,20 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
                         sim::Time::seconds(d / kSpeedOfLight)});
   };
 
+  // Phase 2: the exact per-candidate filter — identical test and
+  // identical delivery order as the flat loop, only the candidate set is
+  // pruned. The phy is dereferenced here for its true current position.
+  const auto consider_candidate = [&](const GridCandidate& c) {
+    ++pair_evaluations_;
+    WirelessPhy* rx = c.phy;
+    if (rx->channel_id() != sender.channel_id()) return;  // different frequency
+    const double d = mobility::distance(from, rx->position());
+    const double power = propagation_->rx_power(tx_power, d);
+    if (power < c.cs_threshold_w) return;  // invisible
+    scratch_.push_back(
+        {rx, c.slot, generations_[c.slot], power, sim::Time::seconds(d / kSpeedOfLight)});
+  };
+
   if (grid_active()) {
     if (!grid_built_ || range_dirty_) {
       rebuild_grid();
@@ -264,8 +329,32 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
       rebucket_all();
     }
     grid_.update(&sender, from);  // the sender's position is exact and free
-    grid_.collect(from, query_radius(), candidates_);
-    for (WirelessPhy* rx : candidates_) consider(rx);
+    if (params_.batch_cull) {
+      // Phase 1: branch-free SoA sweep (range² against per-phy envelope
+      // radii + frequency channel), then one batched envelope refinement
+      // at the sender's actual tx power.
+      const std::uint64_t lanes =
+          grid_.cull(from, query_radius(), sender.channel_id(), &sender, candidates_);
+      // Phase 1b only helps when the sender is weaker than the channel
+      // maximum the cull radii were computed for; at full power the
+      // envelope bound keeps every phase-1a survivor (the cull radius IS
+      // the envelope range plus slack), so the refinement is a no-op by
+      // construction and skipping it changes nothing.
+      if (tx_power < max_tx_power_w_) envelope_cull(tx_power);
+      batch_lane_count_ += lanes;
+      batch_culled_count_ += lanes - candidates_.size();
+      env_.metrics().add(sender.owner(), sim::Counter::kPhyBatchCulled,
+                         lanes - candidates_.size());
+      env_.metrics().add(sender.owner(), sim::Counter::kPhyBatchSurvivors, candidates_.size());
+    } else {
+      grid_.collect(from, query_radius(), &sender, candidates_);
+    }
+    // One post-cull sort over survivors (both grid legs): attach-sequence
+    // order is exactly the flat loop's iteration order. The sort key
+    // lives in the candidate record, so comparisons chase no pointers.
+    std::sort(candidates_.begin(), candidates_.end(),
+              [](const GridCandidate& a, const GridCandidate& b) { return a.seq < b.seq; });
+    for (const GridCandidate& c : candidates_) consider_candidate(c);
   } else {
     for (WirelessPhy* rx : phys_) consider(rx);
   }

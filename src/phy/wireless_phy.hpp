@@ -117,7 +117,13 @@ class WirelessPhy {
   std::uint64_t attach_seq_{0};     ///< stable iteration order for grid queries
   std::int32_t grid_cx_{0};         ///< cached grid cell (valid iff grid_bucketed_)
   std::int32_t grid_cy_{0};
+  std::uint32_t grid_idx_{0};       ///< index within the bucket's parallel arrays
   bool grid_bucketed_{false};
+  /// Squared phase-1 cull radius — (envelope range for this phy's CS
+  /// threshold at the channel's max tx power, plus mobility slack)².
+  /// Computed by the Channel at grid (re)build and copied into the
+  /// bucket's SoA lane on insert.
+  double grid_cull_r2_{0.0};
 
   net::Env& env_;
   net::NodeId owner_;
@@ -168,6 +174,18 @@ struct ChannelParams {
   /// after the previous full re-bucket first re-buckets every phy (an
   /// O(N) pass amortised over all transmits within the period).
   sim::Time grid_rebucket_period{sim::Time::milliseconds(500)};
+  /// Grid-path delivery pipeline. `true` (the default) runs the two-phase
+  /// batched pipeline: a branch-free SoA sweep over the 3x3 cell
+  /// neighbourhood (per-phy envelope-range² + frequency-channel cull,
+  /// then a batched-envelope refinement against the sender's actual tx
+  /// power) feeds the exact per-candidate filter with survivors only.
+  /// `false` keeps the PR-4 exact leg: every phy in the neighbourhood
+  /// goes through the exact filter. Both legs sort survivors by attach
+  /// sequence and apply the identical exact test, so with deterministic
+  /// propagation flat, grid and batched runs are all bit-identical; with
+  /// fading models the batched leg draws strictly fewer fades (culled
+  /// pairs never touch the Rng), making it statistically equivalent.
+  bool batch_cull{true};
 };
 
 /// The shared broadcast medium: fans a transmission out to every other
@@ -215,9 +233,15 @@ class Channel {
   // --- statistics (the perf_scale bench's scaling evidence) ---
   /// Transmissions fanned out.
   std::uint64_t broadcasts() const noexcept { return broadcast_count_; }
-  /// Candidate receivers examined across all broadcasts (flat: N-1 per
-  /// transmit; grid: the cell-neighbourhood candidates only).
+  /// Candidate receivers put through the exact per-receiver filter (flat:
+  /// N-1 per transmit; grid: the cell-neighbourhood candidates; batched:
+  /// phase-1 survivors only).
   std::uint64_t pair_evaluations() const noexcept { return pair_evaluations_; }
+  /// SoA lanes swept by the phase-1 batched cull across all broadcasts.
+  std::uint64_t batch_lanes() const noexcept { return batch_lane_count_; }
+  /// Lanes rejected by phase 1 (range², frequency channel, or batched
+  /// envelope) before ever dereferencing the phy or drawing a fade.
+  std::uint64_t batch_culled() const noexcept { return batch_culled_count_; }
   /// Full O(N) re-bucket passes performed.
   std::uint64_t grid_rebuckets() const noexcept { return grid_rebucket_count_; }
 
@@ -234,9 +258,22 @@ class Channel {
   const std::vector<Reachable>& last_reachable() const noexcept { return scratch_; }
 
  private:
+  friend class WirelessPhy;
+
   void rebuild_grid();
   void rebucket_all();
   double query_radius() const noexcept;
+  double mobility_slack() const noexcept;
+  /// (envelope range for `phy`'s CS threshold at the conservative max tx
+  /// power, plus mobility slack)² — the phase-1 SoA cull radius.
+  double cull_radius2_for(const WirelessPhy& phy) const;
+  /// Phase-1b: refine survivors against the sender's actual tx power with
+  /// one batched envelope evaluation over their conservative (closest-
+  /// possible) distances; drops candidates the exact filter provably
+  /// rejects, keeps everything else.
+  void envelope_cull(double tx_power_w);
+  /// A bucketed phy retuned its radio: refresh its frequency-channel lane.
+  void phy_channel_changed(WirelessPhy* phy);
   void deliver(std::uint32_t slot, std::uint32_t generation, net::NodeId tx,
                net::PooledPacket p, double power_w, sim::Time duration);
   void schedule_deliveries(net::NodeId tx, net::Packet p, sim::Time duration);
@@ -265,10 +302,14 @@ class Channel {
   /// Extremes over attached phys; conservative (never shrink on detach).
   double max_tx_power_w_{0.0};
   double min_cs_threshold_w_{std::numeric_limits<double>::infinity()};
-  std::vector<WirelessPhy*> candidates_;  ///< grid query scratch, reused
+  std::vector<GridCandidate> candidates_;  ///< grid query scratch, reused
+  std::vector<double> cull_dist_;          ///< phase-1b distance scratch
+  std::vector<double> cull_power_;         ///< phase-1b envelope scratch
 
   std::uint64_t broadcast_count_{0};
   std::uint64_t pair_evaluations_{0};
+  std::uint64_t batch_lane_count_{0};
+  std::uint64_t batch_culled_count_{0};
   std::uint64_t grid_rebucket_count_{0};
 };
 

@@ -19,6 +19,8 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"phy_rx_aborted_by_tx", "phy"},
     {"phy_below_rx_threshold", "phy"},
     {"phy_cs_busy", "phy"},
+    {"phy_batch_culled", "phy"},
+    {"phy_batch_survivors", "phy"},
 
     {"mac_tx_data", "mac"},
     {"mac_rx_data", "mac"},

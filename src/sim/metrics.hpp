@@ -21,6 +21,8 @@ enum class Counter : std::uint16_t {
   kPhyRxAbortedByTx,    ///< receptions lost because we started transmitting
   kPhyBelowRxThreshold, ///< signals sensed (>= CS) but too weak to decode
   kPhyCsBusy,           ///< carrier-sense idle->busy transitions
+  kPhyBatchCulled,      ///< candidate lanes rejected by the batched phase-1 cull
+  kPhyBatchSurvivors,   ///< candidates that reached the exact phase-2 filter
 
   // --- MAC, shared ---
   kMacTxData,    ///< data-frame transmissions handed to the phy (incl. retries)

@@ -19,7 +19,14 @@ using namespace sim::time_literals;
 
 ChannelParams grid_forced() {
   ChannelParams p;
-  p.grid_min_phys = 0;  // every broadcast takes the grid path
+  p.grid_min_phys = 0;  // every broadcast takes the grid path (batched cull)
+  return p;
+}
+
+ChannelParams grid_exact() {
+  ChannelParams p;
+  p.grid_min_phys = 0;
+  p.batch_cull = false;  // the PR-4 exact grid leg, no SoA phase 1
   return p;
 }
 
@@ -56,12 +63,13 @@ void expect_same_reachable(const Channel& grid, const Channel& flat, const char*
 // ---------------------------------------------------------------------------
 
 TEST(SpatialGridEquivalence, RandomizedPositionsChannelsAndThresholds) {
-  // Two identical populations, one channel with the grid forced on and one
-  // with the flat loop forced; every transmit must produce the identical
-  // reachable sequence. Positions span several cells (cell ~585 m),
+  // Three identical populations — batched-cull grid, exact grid, flat
+  // loop; every transmit must produce the identical reachable sequence
+  // across all three. Positions span several cells (cell ~585 m),
   // include co-located pairs, and nodes pinned to exact cell-boundary
   // multiples; cs thresholds and frequency channels vary per node.
   eblnet::testing::TestNet grid_net{1, nullptr, grid_forced()};
+  eblnet::testing::TestNet exact_net{1, nullptr, grid_exact()};
   eblnet::testing::TestNet flat_net{1, nullptr, grid_disabled()};
 
   const TwoRayGround ranges;
@@ -93,24 +101,36 @@ TEST(SpatialGridEquivalence, RandomizedPositionsChannelsAndThresholds) {
 
   for (std::size_t i = 0; i < positions.size(); ++i) {
     grid_net.add_node(positions[i], params[i]);
+    exact_net.add_node(positions[i], params[i]);
     flat_net.add_node(positions[i], params[i]);
     grid_net.phy(i).set_channel_id(channels[i]);
+    exact_net.phy(i).set_channel_id(channels[i]);
     flat_net.phy(i).set_channel_id(channels[i]);
   }
 
   ASSERT_TRUE(grid_net.channel().grid_active());
+  ASSERT_TRUE(exact_net.channel().grid_active());
   ASSERT_FALSE(flat_net.channel().grid_active());
 
   for (std::size_t i = 0; i < positions.size(); ++i) {
     grid_net.channel().transmit(grid_net.phy(i), make_packet(i + 1), 1_ms);
+    exact_net.channel().transmit(exact_net.phy(i), make_packet(i + 1), 1_ms);
     flat_net.channel().transmit(flat_net.phy(i), make_packet(i + 1), 1_ms);
-    expect_same_reachable(grid_net.channel(), flat_net.channel(), "static sender");
+    expect_same_reachable(grid_net.channel(), flat_net.channel(), "batched vs flat");
+    expect_same_reachable(exact_net.channel(), flat_net.channel(), "exact vs flat");
     // Drain the scheduled deliveries so pending events don't pile up.
     grid_net.run_for(10_ms);
+    exact_net.run_for(10_ms);
     flat_net.run_for(10_ms);
   }
-  // The grid examined strictly fewer candidate pairs for the same answer.
+  // Both grid legs examined strictly fewer candidate pairs for the same
+  // answer, and the batched phase-1 cull examined no more than the exact
+  // leg (phase 2 only sees phase-1 survivors).
   EXPECT_LT(grid_net.channel().pair_evaluations(), flat_net.channel().pair_evaluations());
+  EXPECT_LE(grid_net.channel().pair_evaluations(), exact_net.channel().pair_evaluations());
+  // The batched leg actually culled something, and the counters balance.
+  EXPECT_GT(grid_net.channel().batch_culled(), 0u);
+  EXPECT_GT(grid_net.channel().batch_lanes(), grid_net.channel().batch_culled());
 }
 
 TEST(SpatialGridEquivalence, MovingNodesAcrossRebucketPeriods) {
@@ -270,6 +290,156 @@ TEST(SpatialGridFaults, CrashedNodeNeverHearsInFlightDeliveries) {
   env.scheduler().run_until(Time::milliseconds(10));
   EXPECT_EQ(heard, 1);
   EXPECT_EQ(rx->rx_ok_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SoA bucket edge cases (batched-cull pipeline)
+// ---------------------------------------------------------------------------
+
+// Run the same static population through batched / exact / flat channels
+// and require identical reachable sequences from every sender.
+void expect_three_way_equivalence(const std::vector<mobility::Vec2>& positions) {
+  eblnet::testing::TestNet batched{1, nullptr, grid_forced()};
+  eblnet::testing::TestNet exact{1, nullptr, grid_exact()};
+  eblnet::testing::TestNet flat{1, nullptr, grid_disabled()};
+  for (const mobility::Vec2& pos : positions) {
+    batched.add_node(pos);
+    exact.add_node(pos);
+    flat.add_node(pos);
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    batched.channel().transmit(batched.phy(i), make_packet(i + 1), 1_ms);
+    exact.channel().transmit(exact.phy(i), make_packet(i + 1), 1_ms);
+    flat.channel().transmit(flat.phy(i), make_packet(i + 1), 1_ms);
+    expect_same_reachable(batched.channel(), flat.channel(), "batched vs flat");
+    expect_same_reachable(exact.channel(), flat.channel(), "exact vs flat");
+    batched.run_for(10_ms);
+    exact.run_for(10_ms);
+    flat.run_for(10_ms);
+  }
+}
+
+TEST(SpatialGridSoA, PhysExactlyOnCellBoundaries) {
+  // floor(pos / cell) puts a phy sitting exactly on a boundary in the
+  // upper cell; its neighbours half a cell away on either side must still
+  // hear it through the 3x3 scan, and the batched cull must keep it.
+  const TwoRayGround ranges;
+  const PhyParams defaults;
+  const double cell = ranges.range_for_threshold(defaults.tx_power_w, defaults.cs_threshold_w) +
+                      70.0 * 0.5 + 1e-6;  // mirrors the channel's cell sizing
+  std::vector<mobility::Vec2> positions;
+  for (int i = -2; i <= 2; ++i) {
+    positions.push_back({i * cell, 0.0});          // exactly on vertical boundaries
+    positions.push_back({i * cell, cell});         // and on a horizontal one
+    positions.push_back({i * cell + 100.0, 50.0}); // plus in-range off-boundary peers
+  }
+  positions.push_back({0.0, 0.0});  // co-located with a boundary phy
+  expect_three_way_equivalence(positions);
+}
+
+TEST(SpatialGridSoA, NegativeCoordinatesAroundTheKeyFold) {
+  // Cell keys fold signed cell coordinates through uint32; clusters deep
+  // in the negative quadrants and straddling the origin must neither
+  // alias nor lose neighbours.
+  std::vector<mobility::Vec2> positions;
+  for (int i = 0; i < 6; ++i) {
+    positions.push_back({-2.0e6 + i * 120.0, -3.0e6});      // far negative cluster
+    positions.push_back({-150.0 + i * 60.0, 80.0 - i * 40.0});  // origin-straddling
+    positions.push_back({1.5e6, -2.5e6 + i * 90.0});        // mixed-sign quadrant
+  }
+  expect_three_way_equivalence(positions);
+}
+
+TEST(SpatialGridSoA, ResetUnhooksLiveBucketedPhys) {
+  // A reset (the channel does one on every grid rebuild) must unhook
+  // still-live phys: a remove or update arriving afterwards has to be a
+  // clean no-op / fresh insert instead of swap-removing into a cleared
+  // bucket. Exercised on a standalone grid against phys whose channel
+  // never builds its own (flat loop forced), so the bookkeeping fields
+  // are exclusively ours.
+  net::Env env{1};
+  Channel channel{env, std::make_shared<TwoRayGround>(), grid_disabled()};
+  std::vector<std::unique_ptr<WirelessPhy>> phys;
+  for (int i = 0; i < 8; ++i) {
+    const mobility::Vec2 pos{i * 50.0, 0.0};
+    phys.push_back(std::make_unique<WirelessPhy>(
+        env, static_cast<net::NodeId>(i), channel, [pos] { return pos; }, PhyParams{}));
+  }
+
+  SpatialGrid grid{100.0};
+  for (auto& p : phys) grid.insert(p.get(), p->position());
+  ASSERT_EQ(grid.size(), phys.size());
+
+  grid.reset(250.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_EQ(grid.cell_size(), 250.0);
+
+  // Post-reset remove of a phy that was bucketed: clean no-op.
+  grid.remove(phys[3].get());
+  EXPECT_EQ(grid.size(), 0u);
+
+  // Post-reset update: behaves as a fresh insert.
+  grid.update(phys[4].get(), phys[4]->position());
+  EXPECT_EQ(grid.size(), 1u);
+
+  // Re-populating and querying works with the new cell size.
+  for (std::size_t i = 0; i < phys.size(); ++i) {
+    if (i != 4) grid.insert(phys[i].get(), phys[i]->position());
+  }
+  EXPECT_EQ(grid.size(), phys.size());
+  std::vector<GridCandidate> out;
+  grid.collect({0.0, 0.0}, 1000.0, phys[0].get(), out);
+  EXPECT_EQ(out.size(), phys.size() - 1);
+  const std::uint64_t lanes = grid.cull({0.0, 0.0}, 1000.0, 0, phys[0].get(), out);
+  EXPECT_EQ(lanes, phys.size());  // every lane in the neighbourhood scanned
+}
+
+TEST(SpatialGridSoA, CrashedNodeCulledIdenticallyInBatchedAndExactLegs) {
+  // A FaultPlan crash detaches the phy (removing its SoA lanes); both grid
+  // legs must agree with each other — and with the flat loop — before the
+  // crash, during the outage, and after the reboot re-attaches it.
+  struct Leg {
+    explicit Leg(ChannelParams params)
+        : env{1}, channel{env, std::make_shared<TwoRayGround>(), params} {
+      for (int i = 0; i < 20; ++i) {
+        const mobility::Vec2 pos{i * 120.0, 0.0};
+        phys.push_back(std::make_unique<WirelessPhy>(
+            env, static_cast<net::NodeId>(i), channel, [pos] { return pos; }, PhyParams{}));
+      }
+      env.faults().set_node_state_hook(
+          [this](std::uint32_t node, bool up) { phys.at(node)->set_down(!up); });
+      env.install_faults(sim::FaultPlan{}.crash(/*node=*/7, Time::milliseconds(2),
+                                                /*reboot_after=*/Time::milliseconds(4)));
+    }
+    net::Env env;
+    Channel channel;
+    std::vector<std::unique_ptr<WirelessPhy>> phys;
+  };
+
+  Leg batched{grid_forced()}, exact{grid_exact()}, flat{grid_disabled()};
+  const auto step = [&](Time until, std::size_t sender, const char* context) {
+    for (Leg* leg : {&batched, &exact, &flat}) {
+      leg->env.scheduler().run_until(until);
+      leg->channel.transmit(*leg->phys[sender], make_packet(sender + 1), 1_ms);
+    }
+    expect_same_reachable(batched.channel, flat.channel, context);
+    expect_same_reachable(exact.channel, flat.channel, context);
+  };
+
+  step(Time::milliseconds(1), 6, "before crash");  // node 7 up and heard
+  const auto heard_7 = [](const Channel& ch) {
+    for (const auto& r : ch.last_reachable()) {
+      if (r.rx->owner() == 7) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(heard_7(batched.channel));
+
+  step(Time::milliseconds(3), 6, "during outage");  // node 7 down: culled
+  EXPECT_FALSE(heard_7(batched.channel));
+
+  step(Time::milliseconds(8), 6, "after reboot");  // node 7 re-attached
+  EXPECT_TRUE(heard_7(batched.channel));
 }
 
 // ---------------------------------------------------------------------------
