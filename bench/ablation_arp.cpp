@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — ARP link layer (NS-2 LL stage)");
+  core::report::print_header({os, 4, ""}, "Ablation — ARP link layer (NS-2 LL stage)");
   os << std::left << std::setw(9) << "MAC" << std::setw(8) << "ARP" << std::right
      << std::setw(16) << "init delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14)
      << "tput (Mbps)" << '\n';

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — delayed ACKs at the EBL sinks");
+  core::report::print_header({os, 4, ""}, "Ablation — delayed ACKs at the EBL sinks");
   os << std::left << std::setw(9) << "MAC" << std::setw(10) << "delack" << std::right
      << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(14)
      << "tput (Mbps)" << '\n';

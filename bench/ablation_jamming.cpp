@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
       grid.size(), [&grid](std::size_t i) { return run(grid[i].first, grid[i].second); });
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — jamming resilience (stopped platoon, 20 s of EBL)");
+  core::report::print_header({os, 4, ""}, "Ablation — jamming resilience (stopped platoon, 20 s of EBL)");
   os << std::left << std::setw(12) << "setup" << std::right << std::setw(8) << "duty"
      << std::setw(12) << "delivered" << std::setw(14) << "avg delay(s)" << std::setw(14)
      << "collisions" << '\n';

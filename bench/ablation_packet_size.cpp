@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — packet size sweep (platoon 1 metrics)");
+  core::report::print_header({os, 4, ""}, "Ablation — packet size sweep (platoon 1 metrics)");
   os << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "bytes"
      << std::setw(14) << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(16)
      << "tput (Mbps)" << '\n';

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — platoon size sweep (future work, §IV)");
+  core::report::print_header({os, 4, ""}, "Ablation — platoon size sweep (future work, §IV)");
   os << std::left << std::setw(8) << "MAC" << std::right << std::setw(10) << "size"
      << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(16)
      << "tput (Mbps)" << std::setw(14) << "collisions" << '\n';

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
+  core::report::print_header({os, 4, ""}, "Ablation — drop-tail vs RED interface queue (trial 1 setup)");
   os << std::left << std::setw(12) << "queue" << std::setw(10) << "window" << std::right
      << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)" << std::setw(12)
      << "ifq drops" << '\n';

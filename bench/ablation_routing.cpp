@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — routing agent (initial-packet delay decomposition)");
+  core::report::print_header({os, 4, ""}, "Ablation — routing agent (initial-packet delay decomposition)");
   os << std::left << std::setw(10) << "MAC" << std::setw(10) << "routing" << std::right
      << std::setw(16) << "init delay(s)" << std::setw(16) << "avg delay(s)" << std::setw(14)
      << "tput (Mbps)" << '\n';

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — RTS/CTS (trial 3 setup)");
+  core::report::print_header({os, 4, ""}, "Ablation — RTS/CTS (trial 3 setup)");
   os << std::left << std::setw(14) << "rts_thresh" << std::right << std::setw(14)
      << "avg delay(s)" << std::setw(14) << "max delay(s)" << std::setw(14) << "tput (Mbps)"
      << std::setw(16) << "collisions" << '\n';

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — TCP max window sweep (trial 1 setup)");
+  core::report::print_header({os, 4, ""}, "Ablation — TCP max window sweep (trial 1 setup)");
   os << std::left << std::setw(10) << "window" << std::right << std::setw(16)
      << "steady delay(s)" << std::setw(14) << "avg delay(s)" << std::setw(14) << "tput (Mbps)"
      << '\n';

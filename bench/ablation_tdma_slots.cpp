@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(configs);
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Ablation — TDMA slots-per-frame sweep (trial 1 setup)");
+  core::report::print_header({os, 4, ""}, "Ablation — TDMA slots-per-frame sweep (trial 1 setup)");
   os << std::left << std::setw(8) << "slots" << std::right << std::setw(14) << "frame (ms)"
      << std::setw(14) << "avg delay(s)" << std::setw(16) << "init delay(s)" << std::setw(14)
      << "tput (Mbps)" << std::setw(16) << "% headway" << '\n';

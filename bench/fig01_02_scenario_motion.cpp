@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   core::EblScenario scenario{cfg};
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Figs. 1-2 — platoon motion through the intersection");
+  core::report::print_header({os, 4, ""}, "Figs. 1-2 — platoon motion through the intersection");
   os << "scenario milestones:\n"
      << "  platoon 1 brakes at        t=" << cfg.platoon1_brake_at.to_seconds() << " s\n"
      << "  platoon 1 fully stopped at t=" << cfg.platoon1_stop_time().to_seconds() << " s\n"

@@ -417,7 +417,7 @@ int main(int argc, char** argv) {
   }
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "perf_scale — flat vs exact-grid vs batched-SoA channel");
+  core::report::print_header({os, 4, ""}, "perf_scale — flat vs exact-grid vs batched-SoA channel");
   os << std::left << std::setw(8) << "N" << std::setw(10) << "channel" << std::right
      << std::setw(10) << "flat (s)" << std::setw(10) << "grid (s)" << std::setw(10) << "batch (s)"
      << std::setw(9) << "b/g-x" << std::setw(9) << "b/g-ev-x" << std::setw(7) << "surv"
@@ -443,7 +443,7 @@ int main(int argc, char** argv) {
   const std::uint64_t k_broadcasts = full ? 20000 : 1000;
 
   os << '\n';
-  core::report::print_header(os,
+  core::report::print_header({os, 4, ""},
                              "broadcast drive — channel transmit path, mixed fleet "
                              "(urban grid, 100 m pitch, 1/16 roadside @ -20 dB CS)");
   os << std::left << std::setw(8) << "N" << std::setw(10) << "channel" << std::right

@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
   }
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "Resilience sweep — the paper's trials under injected faults");
+  core::report::print_header({os, 4, ""}, "Resilience sweep — the paper's trials under injected faults");
 
   os << "fault-free baselines:\n";
   os << std::left << std::setw(20) << "trial" << std::right << std::setw(10) << "delivery"

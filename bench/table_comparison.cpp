@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const core::TrialResult& t3 = runs[2];
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "§III.E — comparison of trials (platoon 1)");
+  core::report::print_header({os, 4, ""}, "§III.E — comparison of trials (platoon 1)");
   os << std::left << std::setw(34) << "metric" << std::right << std::setw(14) << "trial 1"
      << std::setw(14) << "trial 2" << std::setw(14) << "trial 3" << '\n'
      << std::left << std::setw(34) << "packet size / MAC" << std::right << std::setw(14)

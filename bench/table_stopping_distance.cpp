@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const core::TrialResult t3 = run(core::ScenarioBuilder::trial3(), "Trial 3");
 
   std::ostream& os = opts.out();
-  core::report::print_header(os, "§III.E — stopping-distance analysis");
+  core::report::print_header({os, 4, ""}, "§III.E — stopping-distance analysis");
   os << "speed = " << t1.config.speed_mps << " m/s (50 mph), separation = "
      << t1.config.vehicle_gap_m << " m\n\n";
   os << std::left << std::setw(10) << "trial" << std::right << std::setw(16) << "init delay (s)"

@@ -5,6 +5,11 @@
 // braking engages only when its first message arrives. A collision
 // monitor then reports whether the platoon physically survived.
 //
+// The whole experiment goes through core::ScenarioBuilder: the paper's
+// intersection scenario with `with_reactive_braking`, which swaps the
+// scripted all-stop for per-follower EblBrakeReactors and a
+// CollisionMonitor on the platoon 1 column.
+//
 // Run both MACs to see the paper's conclusion as moving metal:
 //   ./build/examples/closed_loop_ebl
 
@@ -12,17 +17,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/ebl_app.hpp"
-#include "core/reactor.hpp"
-#include "core/scenario.hpp"  // core::MacType
-#include "mac/mac_80211.hpp"
-#include "mac/mac_tdma.hpp"
-#include "mobility/platoon.hpp"
-#include "net/env.hpp"
-#include "net/node.hpp"
-#include "phy/wireless_phy.hpp"
-#include "queue/drop_tail.hpp"
-#include "routing/aodv.hpp"
+#include "core/scenario_builder.hpp"
 
 using namespace eblnet;
 
@@ -34,82 +29,43 @@ struct Outcome {
   double notify_s[2] = {-1.0, -1.0};  // per follower, after brake onset
 };
 
-Outcome run(core::MacType mac, double speed, double headway, double decel,
-            sim::Time reaction) {
-  net::Env env{11};
-  phy::Channel channel{env, std::make_shared<phy::TwoRayGround>()};
+Outcome run(core::MacType mac, double headway, double decel, sim::Time reaction) {
+  auto scenario = core::ScenarioBuilder::trial(1000, mac)
+                      .with_reactive_braking(decel, reaction)
+                      .mutate([&](core::ScenarioConfig& c) {
+                        c.vehicle_gap_m = headway;
+                        c.reactive.min_gap_m = 1.0;
+                      })
+                      .build_scenario();
+  scenario->run();
 
-  mobility::Platoon platoon{env.scheduler(), 3, {0.0, 0.0}, {1.0, 0.0}, headway};
-  std::vector<std::unique_ptr<net::Node>> nodes;
-  std::vector<std::unique_ptr<phy::WirelessPhy>> phys;
-  std::vector<net::Node*> node_ptrs;
-  mac::TdmaParams tdma;  // NS-2's 64-slot default frame
-  for (net::NodeId id = 0; id < 3; ++id) {
-    auto node = std::make_unique<net::Node>(env, id);
-    node->set_mobility(platoon.vehicle(id));
-    auto* node_ptr = node.get();
-    phys.push_back(std::make_unique<phy::WirelessPhy>(
-        env, id, channel, [node_ptr] { return node_ptr->position(); }));
-    if (mac == core::MacType::kTdma) {
-      node->set_mac(std::make_unique<mac::MacTdma>(env, id, *phys.back(),
-                                                   std::make_unique<queue::PriQueue>(), tdma,
-                                                   static_cast<unsigned>(id)));
-    } else {
-      node->set_mac(std::make_unique<mac::Mac80211>(env, id, *phys.back(),
-                                                    std::make_unique<queue::PriQueue>()));
-    }
-    node->set_routing(std::make_unique<routing::Aodv>(env, id));
-    node_ptrs.push_back(node_ptr);
-    nodes.push_back(std::move(node));
-  }
-
-  core::EblConfig cfg;
-  cfg.packet_bytes = 1000;
-  cfg.cbr_rate_bps = 1.2e6;
-  core::PlatoonEbl ebl{env, platoon, node_ptrs, cfg};
-
-  // Followers brake only when EBL tells them to.
-  core::EblBrakeReactor middle{env, ebl.mutable_link(0).mutable_sink(), platoon.vehicle(1),
-                               decel, reaction};
-  core::EblBrakeReactor trailing{env, ebl.mutable_link(1).mutable_sink(), platoon.vehicle(2),
-                                 decel, reaction};
-  core::CollisionMonitor monitor{env,
-                                 {platoon.vehicle(0), platoon.vehicle(1), platoon.vehicle(2)},
-                                 /*min_gap=*/1.0};
-
-  platoon.cruise(speed);
-  const sim::Time brake_at = sim::Time::seconds(std::int64_t{5});
-  env.scheduler().schedule_at(brake_at, [&] {
-    monitor.start();
-    platoon.lead()->brake(decel);  // the emergency event: ONLY the lead brakes
-  });
-  env.scheduler().run_until(brake_at + sim::Time::seconds(std::int64_t{20}));
-
+  const sim::Time brake_at = scenario->config().platoon1_brake_at;
   Outcome out;
-  out.collided = monitor.collided();
-  out.min_gap_m = monitor.min_observed_gap();
-  if (middle.triggered()) out.notify_s[0] = (middle.notified_at() - brake_at).to_seconds();
-  if (trailing.triggered()) out.notify_s[1] = (trailing.notified_at() - brake_at).to_seconds();
+  out.collided = scenario->collisions().collided();
+  out.min_gap_m = scenario->collisions().min_observed_gap();
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (scenario->reactor(i).triggered())
+      out.notify_s[i] = (scenario->reactor(i).notified_at() - brake_at).to_seconds();
+  }
   return out;
 }
 
 }  // namespace
 
 int main() {
-  constexpr double kSpeed = 22.352;   // 50 mph
   constexpr double kDecel = 6.0;
   const sim::Time kReaction = sim::Time::milliseconds(100);
 
   std::cout << "=== Closed-loop EBL: does the platoon physically stop in time? ===\n"
-            << kSpeed << " m/s, automated reaction "
-            << kReaction.to_milliseconds() << " ms, decel " << kDecel << " m/s^2\n\n"
+            << "intersection scenario, automated reaction " << kReaction.to_milliseconds()
+            << " ms, decel " << kDecel << " m/s^2\n\n"
             << std::left << std::setw(9) << "MAC" << std::right << std::setw(12) << "headway"
             << std::setw(15) << "notify #1 (s)" << std::setw(15) << "notify #2 (s)"
             << std::setw(14) << "min gap (m)" << std::setw(12) << "outcome" << '\n';
 
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const double headway : {5.0, 10.0, 20.0}) {
-      const Outcome o = run(mac, kSpeed, headway, 6.0, kReaction);
+      const Outcome o = run(mac, headway, kDecel, kReaction);
       std::cout << std::left << std::setw(9) << core::to_string(mac) << std::right << std::fixed
                 << std::setprecision(1) << std::setw(12) << headway << std::setprecision(3)
                 << std::setw(15) << o.notify_s[0] << std::setw(15) << o.notify_s[1]

@@ -45,11 +45,11 @@ int main(int argc, char** argv) {
   for (const auto& s : delays.all()) {
     flows[{s.src, s.dst}].add(s.delay_seconds());
   }
-  core::report::print_header(std::cout, "One-way delay per flow");
+  const core::report::ReportContext ctx{std::cout, 4, "s"};
+  core::report::print_header(ctx, "One-way delay per flow");
   for (const auto& [flow, summary] : flows) {
     core::report::print_summary_row(
-        std::cout, "flow " + std::to_string(flow.first) + " -> " + std::to_string(flow.second),
-        summary, "s");
+        ctx, "flow " + std::to_string(flow.first) + " -> " + std::to_string(flow.second), summary);
   }
   std::cout << "unmatched sends (lost or in flight at trace end): "
             << delays.unmatched_sends() << "\n";
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       ++drops[key];
     }
   }
-  core::report::print_header(std::cout, "Drops by layer/reason");
+  core::report::print_header(ctx, "Drops by layer/reason");
   if (drops.empty()) std::cout << "(none)\n";
   for (const auto& [key, n] : drops) {
     std::cout << std::left << std::setw(16) << key << n << '\n';

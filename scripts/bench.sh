@@ -13,12 +13,14 @@
 #   bench.sh --resilience safety-under-failure sweep (resilience_sweep):
 #                         the paper trials under a crash/blackout/PER
 #                         fault grid
+#   bench.sh --traffic    closed-loop car-following sweep (traffic_sweep):
+#                         IDM shockwave vs V2V market penetration
 #
 # Each harness run is APPENDED to the BENCH_sweep.json history array (the
 # shell stamps it with the run date — the C++ harness stays
 # deterministic), so the perf trajectory across PRs stays visible in one
 # file. Entries are distinguished by their "kind" field ("eblnet.perf",
-# "eblnet.perf_scale", "eblnet.resilience"). A legacy single-object
+# "eblnet.perf_scale", "eblnet.resilience", "eblnet.traffic"). A legacy single-object
 # BENCH_sweep.json is wrapped into a one-entry array on first contact.
 #
 # EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
@@ -31,6 +33,7 @@ HIST=BENCH_sweep.json
 MODE=sweep
 [ "${1:-}" = "--scale" ] && MODE=scale
 [ "${1:-}" = "--resilience" ] && MODE=resilience
+[ "${1:-}" = "--traffic" ] && MODE=traffic
 
 cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD"
@@ -44,6 +47,9 @@ if [ "$MODE" = "scale" ]; then
 elif [ "$MODE" = "resilience" ]; then
   echo "== resilience_sweep (paper trials under crash/blackout/PER faults) =="
   "$BUILD"/bench/resilience_sweep --json "$RUN"
+elif [ "$MODE" = "traffic" ]; then
+  echo "== traffic_sweep (IDM shockwave vs V2V market penetration) =="
+  "$BUILD"/bench/traffic_sweep --json "$RUN"
 else
   echo "== perf_sweep (serial vs parallel confidence sweep) =="
   "$BUILD"/bench/perf_sweep --json "$RUN"
@@ -70,7 +76,7 @@ printf ']\n' >> "$HIST"
 echo "appended run ($STAMP) to $HIST"
 
 echo
-if [ "$MODE" = "resilience" ]; then
+if [ "$MODE" = "resilience" ] || [ "$MODE" = "traffic" ]; then
   : # no micro-benchmark counterpart; the sweep above is the whole story
 elif [ "$MODE" = "scale" ]; then
   echo "== micro_components (channel broadcast hot path) =="

@@ -14,17 +14,20 @@ ctest --test-dir "$BUILD" --output-on-failure
 
 # Same test suite under ASan+UBSan: the packet-pool / inline-callback /
 # trace-arena lifetime code is exactly what sanitizers are for. The
-# fault-injection suite (label "fault") and the grid/batched-cull
-# equivalence suite (label "perf") run as explicit passes: crash / flush /
-# mid-flight-detach paths and the SoA swap-remove bookkeeping are the
+# fault-injection suite (label "fault"), the grid/batched-cull
+# equivalence suite (label "perf"), and the car-following dynamics suite
+# (label "mobility") run as explicit passes: crash / flush /
+# mid-flight-detach paths, the SoA swap-remove bookkeeping, and the
+# spawn/despawn vehicle lifecycle with its closed-loop callbacks are the
 # likeliest places for lifetime bugs, so their sanitizer runs must not be
 # skippable by label filters.
 SAN_BUILD=build-asan
 cmake -B "$SAN_BUILD" -G Ninja -DEBLNET_SANITIZE=ON
 cmake --build "$SAN_BUILD"
-ctest --test-dir "$SAN_BUILD" -LE "fault|perf" --output-on-failure
+ctest --test-dir "$SAN_BUILD" -LE "fault|perf|mobility" --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L fault --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L perf --output-on-failure
+ctest --test-dir "$SAN_BUILD" -L mobility --output-on-failure
 
 mkdir -p "$RESULTS"
 for bench in "$BUILD"/bench/*; do

@@ -4,23 +4,43 @@
 
 namespace eblnet::core {
 
-EblBrakeReactor::EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
-                                 std::shared_ptr<mobility::Vehicle> vehicle, double decel,
-                                 sim::Time reaction)
+EblBrakeReactor::EblBrakeReactor(net::Env& env, std::function<void()> policy, sim::Time reaction)
     : env_{env},
-      vehicle_{std::move(vehicle)},
-      decel_{decel},
+      policy_{std::move(policy)},
       reaction_{reaction},
       actuate_timer_{env.scheduler(), [this] {
                        braked_at_ = env_.now();
-                       vehicle_->brake(decel_);
+                       policy_();
                      }} {
-  if (!vehicle_) throw std::invalid_argument{"EblBrakeReactor: vehicle required"};
-  if (decel <= 0.0) throw std::invalid_argument{"EblBrakeReactor: decel must be > 0"};
-  sink.set_data_callback([this](const net::Packet&) { on_message(); });
+  if (!policy_) throw std::invalid_argument{"EblBrakeReactor: policy required"};
+  if (reaction < sim::Time::zero())
+    throw std::invalid_argument{"EblBrakeReactor: reaction must be >= 0"};
 }
 
-void EblBrakeReactor::on_message() {
+EblBrakeReactor::EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
+                                 std::function<void()> policy, sim::Time reaction)
+    : EblBrakeReactor{env, std::move(policy), reaction} {
+  sink.set_data_callback([this](const net::Packet&) { notify(); });
+}
+
+namespace {
+
+// Validates before the delegated constructor hooks the sink, so a throw
+// can never leave a data callback pointing at a dead reactor.
+std::function<void()> make_brake_policy(std::shared_ptr<mobility::Vehicle> vehicle, double decel) {
+  if (!vehicle) throw std::invalid_argument{"EblBrakeReactor: vehicle required"};
+  if (decel <= 0.0) throw std::invalid_argument{"EblBrakeReactor: decel must be > 0"};
+  return [vehicle = std::move(vehicle), decel] { vehicle->brake(decel); };
+}
+
+}  // namespace
+
+EblBrakeReactor::EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
+                                 std::shared_ptr<mobility::Vehicle> vehicle, double decel,
+                                 sim::Time reaction)
+    : EblBrakeReactor{env, sink, make_brake_policy(std::move(vehicle), decel), reaction} {}
+
+void EblBrakeReactor::notify() {
   if (triggered_) return;
   triggered_ = true;
   notified_at_ = env_.now();

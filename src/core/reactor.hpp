@@ -9,34 +9,49 @@
 
 namespace eblnet::core {
 
-/// Closes the control loop the paper only analyses on paper: when the
-/// first EBL message reaches a follower, the follower's (automated)
-/// braking system actually brakes its vehicle after a fixed actuation
-/// delay. Combined with CollisionMonitor this turns the §III.E
+/// Per-vehicle driving-policy hook: closes the control loop the paper
+/// only analyses on paper. When the first warning reaches this vehicle
+/// (via a TCP sink's data callback, or any other source calling
+/// `notify()`), an arbitrary driving-policy action runs after a fixed
+/// perception/actuation latency. The original use — brake one scripted
+/// `mobility::Vehicle` — is the legacy constructor; closed-loop traffic
+/// instead installs an IDM policy override (`TrafficFlow::apply_policy`)
+/// so EBL reception feeds the car-following target gap/decel directly.
+/// Combined with CollisionMonitor this turns the §III.E
 /// stopping-distance argument into an executable experiment.
 class EblBrakeReactor {
  public:
-  /// Reacts to brake messages arriving at `sink` by braking `vehicle` at
-  /// `decel` after `reaction` (perception/actuation latency).
+  /// Free-standing hook: the caller wires `notify()` to its own warning
+  /// source (e.g. a WarningFlood reception callback); `policy` runs once
+  /// per episode, `reaction` after the first notification.
+  EblBrakeReactor(net::Env& env, std::function<void()> policy, sim::Time reaction);
+
+  /// Hook driven by brake messages arriving at `sink`.
+  EblBrakeReactor(net::Env& env, transport::TcpSink& sink, std::function<void()> policy,
+                  sim::Time reaction);
+
+  /// Legacy form: reacts to brake messages arriving at `sink` by braking
+  /// `vehicle` at `decel` after `reaction`.
   EblBrakeReactor(net::Env& env, transport::TcpSink& sink,
                   std::shared_ptr<mobility::Vehicle> vehicle, double decel,
                   sim::Time reaction);
 
+  /// First-warning entry point. Idempotent per episode: only the first
+  /// call after construction/reset() schedules the policy action.
+  void notify();
+
   bool triggered() const noexcept { return triggered_; }
   /// When the first brake message arrived (valid once triggered).
   sim::Time notified_at() const noexcept { return notified_at_; }
-  /// When the brakes actually engaged (valid once the timer fired).
+  /// When the policy actually engaged (valid once the timer fired).
   sim::Time braked_at() const noexcept { return braked_at_; }
 
   /// Re-arm for a new braking episode (e.g. after the platoon resumes).
   void reset();
 
  private:
-  void on_message();
-
   net::Env& env_;
-  std::shared_ptr<mobility::Vehicle> vehicle_;
-  double decel_;
+  std::function<void()> policy_;
   sim::Time reaction_;
   bool triggered_{false};
   sim::Time notified_at_{};

@@ -62,32 +62,6 @@ void print_confidence(const ReportContext& ctx, const std::string& label,
          << " batch samples)\n";
 }
 
-// --- ostream-first overloads (historical formatting preserved) ---------
-
-void print_header(std::ostream& os, const std::string& title) {
-  print_header(ReportContext{os}, title);
-}
-
-void print_delay_series(std::ostream& os, const std::string& title,
-                        const std::vector<trace::DelaySample>& samples, std::size_t max_points) {
-  print_delay_series(ReportContext{os, 6, "s"}, title, samples, max_points);
-}
-
-void print_throughput_series(std::ostream& os, const std::string& title,
-                             const stats::TimeSeries& series) {
-  print_throughput_series(ReportContext{os, 4, "Mb/s"}, title, series);
-}
-
-void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
-                       const std::string& unit) {
-  print_summary_row(ReportContext{os, 4, unit}, label, s);
-}
-
-void print_confidence(std::ostream& os, const std::string& label,
-                      const stats::ConfidenceInterval& ci, const std::string& unit) {
-  print_confidence(ReportContext{os, 4, unit}, label, ci);
-}
-
 // --- JSON run manifests ------------------------------------------------
 
 namespace {
@@ -169,6 +143,12 @@ void write_config(JsonWriter& w, const ScenarioConfig& cfg) {
   w.field("duration_s", cfg.duration.to_seconds());
   w.field("seed", cfg.seed);
   w.field("metrics_enabled", cfg.enable_metrics);
+  w.key("reactive");
+  w.begin_object();
+  w.field("enabled", cfg.reactive.enabled);
+  w.field("decel_mps2", cfg.reactive.decel_mps2);
+  w.field("reaction_s", cfg.reactive.reaction.to_seconds());
+  w.end_object();
   w.key("faults");
   w.begin_object();
   w.field("enabled", !cfg.faults.empty());
@@ -365,6 +345,62 @@ void write_resilience_json(std::ostream& os, const std::string& name,
   os << '\n';
 }
 
+void write_traffic_json(std::ostream& os, const std::string& name, const TrafficConfig& cfg,
+                        std::span<const TrafficRunResult> cells) {
+  JsonWriter w{os};
+  w.begin_object();
+  w.field("schema_version", static_cast<std::int64_t>(kManifestSchemaVersion));
+  w.field("kind", "eblnet.traffic");
+  w.field("name", name);
+
+  w.key("config");
+  w.begin_object();
+  std::uint64_t lanes_total = 0;
+  for (const auto& r : cfg.flow.roads) lanes_total += static_cast<std::uint64_t>(r.lanes);
+  w.field("roads", static_cast<std::uint64_t>(cfg.flow.roads.size()));
+  w.field("lanes_total", lanes_total);
+  w.field("road_length_m", cfg.flow.roads.empty() ? 0.0 : cfg.flow.roads.front().length_m);
+  w.field("flow_rate_veh_per_s_per_lane", cfg.flow.flow_rate_veh_per_s_per_lane);
+  w.field("max_vehicles", static_cast<std::uint64_t>(cfg.flow.max_vehicles));
+  w.field("desired_speed_mps", cfg.flow.idm.desired_speed_mps);
+  w.field("time_headway_s", cfg.flow.idm.time_headway_s);
+  w.field("tick_s", cfg.flow.tick.to_seconds());
+  w.field("warn_range_m", cfg.warn_range_m);
+  w.field("reaction_s", cfg.reaction.to_seconds());
+  w.field("policy_headway_scale", cfg.warned_policy.headway_scale);
+  w.field("policy_speed_cap_mps", cfg.warned_policy.speed_cap_mps);
+  w.field("incident_at_s", cfg.incident_at.to_seconds());
+  w.field("incident_decel_mps2", cfg.incident_decel_mps2);
+  w.field("congestion_speed_mps", cfg.congestion_speed_mps);
+  w.field("duration_s", cfg.duration.to_seconds());
+  w.field("seed", cfg.seed);
+  w.end_object();
+
+  w.field("cell_count", static_cast<std::uint64_t>(cells.size()));
+  w.key("cells");
+  w.begin_array();
+  for (const auto& c : cells) {
+    w.begin_object();
+    w.field("name", c.name);
+    w.field("penetration", c.penetration);
+    w.field("vehicles_spawned", c.vehicles_spawned);
+    w.field("equipped", c.equipped);
+    w.field("warnings_originated", c.warnings_originated);
+    w.field("warning_receptions", c.warning_receptions);
+    w.field("reactions", c.reactions);
+    w.field("shockwave_speed_mps", c.shockwave_speed_mps);
+    w.field("shockwave_points", c.shockwave_points);
+    w.field("congestion_onset_s", c.congestion_onset_s);
+    w.field("slowed_vehicles", c.slowed_vehicles);
+    w.field("final_mean_speed_mps", c.final_mean_speed_mps);
+    w.field("events_executed", c.events_executed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
 namespace {
 
 std::ofstream open_or_throw(const std::string& path) {
@@ -393,6 +429,13 @@ void write_resilience_json_file(const std::string& path, const std::string& name
                                 std::span<const ResilienceCell> cells) {
   auto f = open_or_throw(path);
   write_resilience_json(f, name, baselines, cells);
+  if (!f) throw std::runtime_error{"report: write failed for " + path};
+}
+
+void write_traffic_json_file(const std::string& path, const std::string& name,
+                             const TrafficConfig& cfg, std::span<const TrafficRunResult> cells) {
+  auto f = open_or_throw(path);
+  write_traffic_json(f, name, cfg, cells);
   if (!f) throw std::runtime_error{"report: write failed for " + path};
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/traffic_scenario.hpp"
 #include "core/trial.hpp"
 #include "stats/confidence.hpp"
 #include "stats/summary.hpp"
@@ -19,9 +20,9 @@ namespace report {
 
 /// Destination and formatting for the print_* helpers: the stream, the
 /// decimal precision of the reported values, and the unit suffix. The
-/// defaults reproduce the historical output of the summary/confidence
-/// printers; the series printers use their own value precisions via the
-/// forwarding overloads below.
+/// historical renderings use {os, 6, "s"} for delay series, {os, 4,
+/// "Mb/s"} for throughput series, and {os, 4, unit} for summary and
+/// confidence rows.
 struct ReportContext {
   std::ostream& os;
   int precision{4};
@@ -47,30 +48,16 @@ void print_confidence(const ReportContext& ctx, const std::string& label,
 
 void print_header(const ReportContext& ctx, const std::string& title);
 
-// --- ostream-first overloads -------------------------------------------
-// Deprecated spelling, kept so existing benches/examples compile and
-// print byte-identical text: each forwards to the ReportContext primary
-// with the historical precision/unit. New code should construct a
-// ReportContext once and pass it through.
-
-void print_delay_series(std::ostream& os, const std::string& title,
-                        const std::vector<trace::DelaySample>& samples,
-                        std::size_t max_points = SIZE_MAX);
-void print_throughput_series(std::ostream& os, const std::string& title,
-                             const stats::TimeSeries& series);
-void print_summary_row(std::ostream& os, const std::string& label, const stats::Summary& s,
-                       const std::string& unit);
-void print_confidence(std::ostream& os, const std::string& label,
-                      const stats::ConfidenceInterval& ci, const std::string& unit);
-void print_header(std::ostream& os, const std::string& title);
-
 // --- JSON run manifests ------------------------------------------------
 
 /// Manifest format version; bumped on any key addition/removal/rename.
 /// v2: config gained a "faults" block, trials a "resilience" block, the
 /// metrics block the fault counter layer, and "eblnet.resilience" joined
 /// the manifest kinds.
-inline constexpr int kManifestSchemaVersion = 2;
+/// v3: config gained a "reactive" block (closed-loop follower braking)
+/// and "eblnet.traffic" (car-following market-penetration sweeps) joined
+/// the manifest kinds.
+inline constexpr int kManifestSchemaVersion = 3;
 
 /// Write the versioned JSON run manifest for one finished trial:
 /// config, seed, per-layer metric counters, delay/throughput summaries
@@ -104,6 +91,13 @@ void write_resilience_json(std::ostream& os, const std::string& name,
                            std::span<const TrialResult> baselines,
                            std::span<const ResilienceCell> cells);
 
+/// Write a traffic-sweep manifest ("eblnet.traffic"): the closed-loop
+/// car-following configuration shared by the sweep, then one compact row
+/// per market-penetration cell (shockwave speed, congestion onset,
+/// warning counts).
+void write_traffic_json(std::ostream& os, const std::string& name, const TrafficConfig& cfg,
+                        std::span<const TrafficRunResult> cells);
+
 /// Convenience: open `path`, write the manifest, throw on I/O failure.
 void write_json_file(const std::string& path, const TrialResult& r);
 void write_sweep_json_file(const std::string& path, const std::string& name,
@@ -111,6 +105,8 @@ void write_sweep_json_file(const std::string& path, const std::string& name,
 void write_resilience_json_file(const std::string& path, const std::string& name,
                                 std::span<const TrialResult> baselines,
                                 std::span<const ResilienceCell> cells);
+void write_traffic_json_file(const std::string& path, const std::string& name,
+                             const TrafficConfig& cfg, std::span<const TrafficRunResult> cells);
 
 }  // namespace report
 }  // namespace eblnet::core

@@ -38,6 +38,18 @@ routing::Aodv& EblScenario::aodv(std::size_t i) {
   return *aodvs_.at(i);
 }
 
+EblBrakeReactor& EblScenario::reactor(std::size_t i) {
+  if (!config_.reactive.enabled)
+    throw std::logic_error{"EblScenario: reactive braking is not enabled"};
+  return *reactors_.at(i);
+}
+
+CollisionMonitor& EblScenario::collisions() {
+  if (!config_.reactive.enabled)
+    throw std::logic_error{"EblScenario: reactive braking is not enabled"};
+  return *collision_monitor_;
+}
+
 EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, env_{config_.seed} {
   if (config_.platoon_size < 2)
     throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
@@ -79,7 +91,16 @@ void EblScenario::build_mobility() {
   const mobility::Vec2 p1_start{0.0, -(cruise_dist + brake_dist)};
   platoon1_ = std::make_unique<mobility::Platoon>(env_.scheduler(), n, p1_start,
                                                   mobility::Vec2{0.0, 1.0}, gap);
-  platoon1_->drive_and_stop_at(mobility::Vec2{0.0, 0.0}, v, a);
+  if (config_.reactive.enabled) {
+    // Closed loop: only the lead's brake is scripted (same instant and
+    // decel as the scripted scenario, so it still stops at the origin).
+    // Followers keep cruising until their reactor hears the EBL message.
+    platoon1_->cruise(v);
+    env_.scheduler().schedule_at(config_.platoon1_brake_at,
+                                 [this, a] { platoon1_->lead()->brake(a); });
+  } else {
+    platoon1_->drive_and_stop_at(mobility::Vec2{0.0, 0.0}, v, a);
+  }
 
   // Platoon 2 waits on the cross street just west of the intersection and
   // departs east at platoon2_depart.
@@ -176,6 +197,21 @@ void EblScenario::build_traffic() {
       env_, [this] { return ebl2_->total_sink_bytes(); }, config_.throughput_sample_interval);
   tput1_->start();
   tput2_->start();
+
+  if (config_.reactive.enabled) {
+    // EblLink i feeds follower i+1's sink, so reactor i brakes the
+    // vehicle its link actually notifies.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      reactors_.push_back(std::make_unique<EblBrakeReactor>(
+          env_, ebl1_->mutable_link(i).mutable_sink(), platoon1_->vehicle(i + 1),
+          config_.reactive.decel_mps2, config_.reactive.reaction));
+    }
+    std::vector<std::shared_ptr<mobility::Vehicle>> column;
+    for (std::size_t i = 0; i < n; ++i) column.push_back(platoon1_->vehicle(i));
+    collision_monitor_ =
+        std::make_unique<CollisionMonitor>(env_, std::move(column), config_.reactive.min_gap_m);
+    collision_monitor_->start();
+  }
 }
 
 void EblScenario::run() { run_until(config_.duration); }

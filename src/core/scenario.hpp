@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ebl_app.hpp"
+#include "core/reactor.hpp"
 #include "mac/arp.hpp"
 #include "mac/mac_80211.hpp"
 #include "mac/mac_tdma.hpp"
@@ -34,6 +35,21 @@ enum class PropagationType : std::uint8_t { kTwoRay, kNakagami };
 const char* to_string(MacType m) noexcept;
 const char* to_string(RoutingType r) noexcept;
 const char* to_string(PropagationType p) noexcept;
+
+/// Closed-loop follower behaviour for the intersection scenario. When
+/// enabled, platoon 1's followers abandon the scripted all-stop: only
+/// the lead brakes on schedule, and each follower brakes solely because
+/// its first EBL message arrived — `reaction` later, at `decel_mps2`
+/// (an EblBrakeReactor per follower). A CollisionMonitor watches the
+/// platoon 1 column, so whether the headway/network combination avoids
+/// the rear-end collision becomes an *observed* outcome instead of the
+/// paper's closed-form §III.E verdict.
+struct ReactiveBrakingConfig {
+  bool enabled{false};
+  double decel_mps2{6.0};
+  sim::Time reaction{sim::Time::milliseconds(100)};
+  double min_gap_m{0.5};  ///< CollisionMonitor near-collision threshold
+};
 
 /// Full configuration of the paper's two-platoon intersection scenario.
 /// Defaults reproduce trial 1 (1000-byte packets over TDMA).
@@ -82,6 +98,9 @@ struct ScenarioConfig {
 
   // --- traffic ---
   EblConfig ebl{};
+
+  /// Closed-loop follower braking (off: the scripted all-stop).
+  ReactiveBrakingConfig reactive{};
 
   // --- stack parameters ---
   mac::Mac80211Params mac80211{};
@@ -154,6 +173,12 @@ class EblScenario {
   /// The node's AODV agent; throws unless config.routing == kAodv.
   routing::Aodv& aodv(std::size_t i);
 
+  /// Platoon 1 follower `i`'s reactor (0 = the vehicle directly behind
+  /// the lead); throws unless config.reactive.enabled.
+  EblBrakeReactor& reactor(std::size_t i);
+  /// The platoon 1 near-collision watcher; throws unless reactive mode.
+  CollisionMonitor& collisions();
+
   /// Node ids, platoon-relative.
   static constexpr net::NodeId kP1Lead = 0, kP1Middle = 1, kP1Trailing = 2;
   static constexpr net::NodeId kP2Lead = 3, kP2Middle = 4, kP2Trailing = 5;
@@ -177,6 +202,8 @@ class EblScenario {
   std::unique_ptr<PlatoonEbl> ebl2_;
   std::unique_ptr<trace::ThroughputMonitor> tput1_;
   std::unique_ptr<trace::ThroughputMonitor> tput2_;
+  std::vector<std::unique_ptr<EblBrakeReactor>> reactors_;  ///< reactive mode only
+  std::unique_ptr<CollisionMonitor> collision_monitor_;     ///< reactive mode only
 };
 
 }  // namespace eblnet::core

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "core/scenario.hpp"
+#include "core/traffic_scenario.hpp"
 #include "core/trial.hpp"
 
 namespace eblnet::core {
@@ -89,6 +91,36 @@ class ScenarioBuilder {
     return *this;
   }
 
+  // --- closed-loop driving ---
+  /// Close the loop: platoon 1's followers brake only when their first
+  /// EBL message arrives (EblBrakeReactor per follower + a
+  /// CollisionMonitor on the column), instead of the scripted all-stop.
+  ScenarioBuilder& with_reactive_braking(double decel_mps2 = 6.0,
+                                         sim::Time reaction = sim::Time::milliseconds(100)) {
+    config_.reactive.enabled = true;
+    config_.reactive.decel_mps2 = decel_mps2;
+    config_.reactive.reaction = reaction;
+    return *this;
+  }
+  ScenarioBuilder& with_reactive_braking(const ReactiveBrakingConfig& cfg) {
+    config_.reactive = cfg;
+    config_.reactive.enabled = true;
+    return *this;
+  }
+
+  /// Replace the scripted intersection with closed-loop car-following
+  /// traffic (mobility::TrafficFlow + V2V warning flooding for the
+  /// equipped fraction). Terminal operation is run_traffic(); the
+  /// scripted terminals (run/build_scenario) refuse a traffic config so
+  /// the two scenario families cannot be silently mixed. The traffic
+  /// run inherits the builder's seed unless the config sets its own.
+  ScenarioBuilder& with_traffic_flow(TrafficConfig cfg) {
+    traffic_ = std::move(cfg);
+    traffic_.enabled = true;
+    return *this;
+  }
+  const TrafficConfig& traffic_config() const noexcept { return traffic_; }
+
   // --- fault injection ---
   /// Install a deterministic fault schedule (node crashes, RF blackouts,
   /// packet-error rates, clock skew, queue chaos, jamming). The default
@@ -122,17 +154,44 @@ class ScenarioBuilder {
   /// Construct the scenario without running it (step it manually with
   /// run_until, attach reactors, ...).
   std::unique_ptr<EblScenario> build_scenario() const {
+    reject_traffic("build_scenario");
     return std::make_unique<EblScenario>(config_);
   }
 
   /// Run to completion and extract the TrialResult (see core::run_trial).
   TrialResult run(std::string name = {},
                   const std::function<void(EblScenario&)>& after_run = {}) const {
+    reject_traffic("run");
     return run_trial(config_, std::move(name), after_run);
   }
 
+  /// Construct the closed-loop traffic scenario (requires
+  /// with_traffic_flow). Seed defaults to the builder's seed.
+  std::unique_ptr<TrafficScenario> build_traffic_scenario() const {
+    if (!traffic_.enabled)
+      throw std::logic_error{"ScenarioBuilder: call with_traffic_flow before build_traffic_scenario"};
+    TrafficConfig cfg = traffic_;
+    if (cfg.seed == 1) cfg.seed = config_.seed;
+    return std::make_unique<TrafficScenario>(std::move(cfg));
+  }
+
+  /// Run the closed-loop traffic scenario and collect its sweep row.
+  TrafficRunResult run_traffic(std::string name = {}) const {
+    auto scenario = build_traffic_scenario();
+    scenario->run();
+    return scenario->result(std::move(name));
+  }
+
  private:
+  void reject_traffic(const char* what) const {
+    if (traffic_.enabled)
+      throw std::logic_error{std::string{"ScenarioBuilder: "} + what +
+                             " is the scripted-scenario terminal; a traffic config is installed — "
+                             "use run_traffic/build_traffic_scenario"};
+  }
+
   ScenarioConfig config_;
+  TrafficConfig traffic_;
 };
 
 }  // namespace eblnet::core

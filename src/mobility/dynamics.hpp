@@ -1,0 +1,47 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace eblnet::mobility {
+
+/// Stateful side of the mobility split.
+///
+/// `MobilityModel` is the *read* side: a closed-form `position_at(t)`
+/// oracle that consumers (phy, SpatialGrid, nam_export) may call at any
+/// time without side effects. Scripted models (StaticMobility, Vehicle,
+/// Platoon, Waypoint) are pure read-side objects — they stay closed-form
+/// and add zero events to the queue.
+///
+/// A `DynamicsModel` owns vehicle state that *evolves by simulation
+/// events* (a fixed integration tick scheduled through the shared event
+/// queue) and can therefore react to the network: message reception may
+/// change a vehicle's future trajectory, which a closed-form oracle
+/// cannot express. Read-side views over a dynamics engine (see
+/// `IdmVehicle`) extrapolate linearly from the last tick, so between
+/// ticks they behave exactly like a constant-velocity closed-form model.
+///
+/// Contract with the channel's spatial grid: the grid's cull slack is
+/// derived from a speed bound. Scripted models are covered by the static
+/// `ChannelParams::grid_max_speed_mps`; a dynamics engine must declare
+/// its own bound via `max_speed_bound_mps()`, which the scenario feeds to
+/// `phy::Channel::raise_speed_bound` *before* vehicles start moving, so
+/// an accelerating vehicle can never outrun its baked cull radius.
+class DynamicsModel {
+ public:
+  virtual ~DynamicsModel() = default;
+
+  /// Schedule the first integration tick. Ticks reschedule themselves
+  /// until the engine's configured end time; `stop()` cancels early.
+  virtual void start(sim::Scheduler& sched) = 0;
+
+  /// Cancel the pending tick (idempotent). State freezes at the last
+  /// integrated tick; read-side views keep extrapolating from it.
+  virtual void stop() = 0;
+
+  /// Upper bound on any vehicle's speed over the whole run, including
+  /// integration overshoot. Must be valid from construction (before
+  /// `start`), because the channel bakes it into cull radii up front.
+  virtual double max_speed_bound_mps() const = 0;
+};
+
+}  // namespace eblnet::mobility

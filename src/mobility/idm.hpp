@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace eblnet::mobility {
+
+/// Intelligent Driver Model parameters (Treiber/Hennecke/Helbing 2000).
+/// Defaults are the canonical highway calibration from the paper's
+/// related car-following literature: free speed 33 m/s (~120 km/h),
+/// 1.5 s time headway, comfortable braking 2 m/s².
+struct IdmParams {
+  double desired_speed_mps{33.0};   ///< v0 — free-road target speed
+  double time_headway_s{1.5};       ///< T — desired bumper-to-bumper headway
+  double max_accel_mps2{1.4};       ///< a — maximum acceleration
+  double comfort_decel_mps2{2.0};   ///< b — comfortable deceleration
+  double min_gap_m{2.0};            ///< s0 — standstill jam gap
+  double vehicle_length_m{5.0};     ///< L — bumper-to-bumper geometry
+  double accel_exponent{4.0};       ///< delta — free-acceleration exponent
+};
+
+/// Desired dynamic gap s*(v, Δv) = s0 + vT + vΔv / (2√(ab)), floored at
+/// s0 (the dynamic term can go negative when closing speed Δv < 0).
+inline double idm_desired_gap(const IdmParams& p, double v, double dv) {
+  const double dynamic =
+      v * p.time_headway_s + v * dv / (2.0 * std::sqrt(p.max_accel_mps2 * p.comfort_decel_mps2));
+  return p.min_gap_m + std::max(0.0, dynamic);
+}
+
+/// IDM acceleration a·[1 − (v/v0)^δ − (s*/s)²] for bumper-to-bumper gap
+/// `gap` to the leader and closing speed `dv` = v − v_leader. Pass a huge
+/// gap (e.g. 1e9) for free road; the interaction term vanishes. `gap` is
+/// clamped to a small positive epsilon so an (unphysical) overlap yields
+/// a large finite braking demand instead of inf/NaN.
+inline double idm_acceleration(const IdmParams& p, double v, double gap, double dv) {
+  const double free = std::pow(v / p.desired_speed_mps, p.accel_exponent);
+  const double s_star = idm_desired_gap(p, v, dv);
+  const double ratio = s_star / std::max(gap, 0.01);
+  return p.max_accel_mps2 * (1.0 - free - ratio * ratio);
+}
+
+/// Equilibrium (zero-acceleration, zero-closing-speed) gap at speed v:
+/// the fixed point s_e(v) = (s0 + vT) / sqrt(1 − (v/v0)^δ). Diverges as
+/// v → v0 — a platoon cruising at the free speed has no finite
+/// equilibrium spacing.
+inline double idm_equilibrium_gap(const IdmParams& p, double v) {
+  const double free = std::pow(v / p.desired_speed_mps, p.accel_exponent);
+  return (p.min_gap_m + v * p.time_headway_s) / std::sqrt(1.0 - free);
+}
+
+}  // namespace eblnet::mobility

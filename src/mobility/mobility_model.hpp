@@ -5,9 +5,17 @@
 
 namespace eblnet::mobility {
 
-/// Position source for a node. Implementations compute position lazily
-/// from closed-form kinematics — there is no per-tick movement event, so
-/// mobility adds zero load to the event queue.
+/// Position source for a node — the *read side* of the mobility split.
+/// Consumers (phy, SpatialGrid, nam_export) only ever call these const
+/// accessors; how the trajectory comes to be is not their business.
+///
+/// Scripted implementations (StaticMobility, Vehicle, Platoon,
+/// Waypoint) compute position lazily from closed-form kinematics —
+/// there is no per-tick movement event, so they add zero load to the
+/// event queue. Stateful dynamics (see mobility/dynamics.hpp and
+/// TrafficFlow) integrate on a fixed tick through the event queue and
+/// expose per-vehicle read views (IdmVehicle) through this same
+/// interface, extrapolating linearly between ticks.
 class MobilityModel {
  public:
   virtual ~MobilityModel() = default;

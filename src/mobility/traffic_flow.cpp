@@ -1,0 +1,363 @@
+#include "mobility/traffic_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eblnet::mobility {
+
+namespace {
+
+// Hard physical braking floor (~0.9 g). IDM's interaction term diverges
+// as the gap closes; clamping keeps one bad tick from producing an
+// unphysical acceleration that would poison the hard-brake edge
+// detector and the integrator alike.
+constexpr double kMaxPhysicalDecel = 9.0;
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
+  // splitmix64 finalizer over the xor — decorrelates nearby seeds (same
+  // recipe as the fault controller's dedicated stream).
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TrafficFlowParams TrafficFlowParams::highway(int lanes, double length_m,
+                                             double flow_veh_per_s_per_lane) {
+  TrafficFlowParams p;
+  RoadSpec road;
+  road.origin = {0.0, 0.0};
+  road.direction = {1.0, 0.0};
+  road.length_m = length_m;
+  road.lanes = lanes;
+  p.roads.push_back(road);
+  p.flow_rate_veh_per_s_per_lane = flow_veh_per_s_per_lane;
+  return p;
+}
+
+TrafficFlowParams TrafficFlowParams::intersection(double arm_length_m,
+                                                  double flow_veh_per_s_per_lane, sim::Time green,
+                                                  sim::Time red) {
+  TrafficFlowParams p;
+  const double half = arm_length_m / 2.0;
+  RoadSpec ew;  // west -> east, crossing at (half, 0)
+  ew.origin = {0.0, 0.0};
+  ew.direction = {1.0, 0.0};
+  ew.length_m = arm_length_m;
+  ew.stop_line_m = half - 10.0;
+  ew.signal_green = green;
+  ew.signal_red = red;
+  RoadSpec ns = ew;  // south -> north, green window exactly complementary
+  ns.origin = {half, -half};
+  ns.direction = {0.0, 1.0};
+  ns.signal_green = red;
+  ns.signal_red = green;
+  ns.signal_offset = green;
+  p.roads.push_back(ew);
+  p.roads.push_back(ns);
+  p.flow_rate_veh_per_s_per_lane = flow_veh_per_s_per_lane;
+  return p;
+}
+
+TrafficFlow::TrafficFlow(TrafficFlowParams params, std::uint64_t seed)
+    : params_{std::move(params)} {
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument{std::string{"TrafficFlow: "} + what};
+  };
+  if (params_.roads.empty()) bad("at least one road required");
+  if (params_.tick <= sim::Time::zero()) bad("tick must be > 0");
+  if (params_.flow_rate_veh_per_s_per_lane < 0.0) bad("flow rate must be >= 0");
+  if (params_.speed_jitter_frac < 0.0 || params_.speed_jitter_frac >= 1.0)
+    bad("speed jitter must be in [0, 1)");
+  if (params_.idm.desired_speed_mps <= 0.0 || params_.idm.time_headway_s <= 0.0 ||
+      params_.idm.max_accel_mps2 <= 0.0 || params_.idm.comfort_decel_mps2 <= 0.0 ||
+      params_.idm.min_gap_m <= 0.0 || params_.idm.vehicle_length_m <= 0.0)
+    bad("IDM parameters must be > 0");
+  if (params_.speed_sample_every_ticks <= 0) bad("speed_sample_every_ticks must be > 0");
+
+  // Dedicated spawn stream, decorrelated from the env's main stream by a
+  // fixed domain tag so network-side draws never perturb arrivals.
+  sim::Rng master{mix_seed(seed, 0xEB17'AFF1'C000'0001ULL)};
+  std::size_t total_lanes = 0;
+  for (auto& r : params_.roads) {
+    if (r.lanes <= 0) bad("road must have >= 1 lane");
+    if (r.length_m <= 0.0) bad("road length must be > 0");
+    if (r.direction.length() == 0.0) bad("road direction must be non-zero");
+    r.direction = r.direction.normalized();
+    if (!r.signal_green.is_zero()) {
+      if (r.stop_line_m < 0.0 || r.stop_line_m > r.length_m)
+        bad("signalled road needs a stop line within its extent");
+      const sim::Time cycle = r.signal_green + r.signal_red;
+      if (r.signal_red <= sim::Time::zero()) bad("signal red phase must be > 0");
+      if (r.signal_offset < sim::Time::zero() || r.signal_offset > cycle)
+        bad("signal offset must lie within one cycle");
+    }
+    lane_base_.push_back(total_lanes);
+    total_lanes += static_cast<std::size_t>(r.lanes);
+  }
+  lanes_.resize(total_lanes);
+  const double mean_gap_s = params_.flow_rate_veh_per_s_per_lane > 0.0
+                                ? 1.0 / params_.flow_rate_veh_per_s_per_lane
+                                : 0.0;
+  for (auto& ls : lanes_) {
+    ls.rng = master.split();
+    if (mean_gap_s > 0.0) ls.next_spawn = sim::Time::seconds(ls.rng.exponential(mean_gap_s));
+  }
+}
+
+double TrafficFlow::max_speed_bound_mps() const {
+  return params_.idm.desired_speed_mps * (1.0 + params_.speed_jitter_frac) +
+         params_.idm.max_accel_mps2 * params_.tick.to_seconds();
+}
+
+void TrafficFlow::start(sim::Scheduler& sched) {
+  if (tick_event_ != sim::kInvalidEventId) return;
+  sched_ = &sched;
+  last_step_ = sched.now();
+  const sim::Time first = sched.now() + params_.tick;
+  if (first > params_.end) return;
+  tick_event_ = sched.schedule_at(first, [this] { step(*sched_); });
+}
+
+void TrafficFlow::stop() {
+  if (sched_ != nullptr) sched_->cancel(tick_event_);
+  tick_event_ = sim::kInvalidEventId;
+}
+
+TrafficFlow::VehicleId TrafficFlow::spawn(std::uint16_t road, std::uint16_t lane, double pos_m,
+                                          double speed_mps) {
+  if (road >= params_.roads.size() ||
+      lane >= static_cast<std::uint16_t>(params_.roads[road].lanes))
+    throw std::invalid_argument{"TrafficFlow::spawn: no such lane"};
+  if (speed_mps < 0.0 || speed_mps > max_speed_bound_mps())
+    throw std::invalid_argument{"TrafficFlow::spawn: speed outside the declared bound"};
+  auto& col = lane_state(road, lane).column;
+  if (!col.empty() && pos_m >= pos_[col.back()])
+    throw std::invalid_argument{"TrafficFlow::spawn: must enter behind the rearmost vehicle"};
+  if (params_.max_vehicles != 0 && pos_.size() >= params_.max_vehicles) return kNoVehicle;
+
+  const auto id = static_cast<VehicleId>(pos_.size());
+  pos_.push_back(pos_m);
+  speed_.push_back(speed_mps);
+  accel_.push_back(0.0);
+  v0_.push_back(params_.idm.desired_speed_mps);
+  road_.push_back(road);
+  lane_.push_back(lane);
+  active_.push_back(1);
+  braking_.push_back(0);
+  forced_.push_back(0);
+  forced_decel_.push_back(0.0);
+  forced_until_.push_back(sim::Time::zero());
+  policy_.push_back(DrivingPolicy{});
+  policy_until_.push_back(sim::Time::zero());
+  slowed_.push_back(0);
+  col.push_back(id);
+  ++active_count_;
+  if (on_spawn_) on_spawn_(id);
+  return id;
+}
+
+void TrafficFlow::apply_policy(VehicleId v, DrivingPolicy policy, sim::Time until) {
+  if (policy.headway_scale < 1.0 || policy.speed_cap_mps < 0.0)
+    throw std::invalid_argument{"TrafficFlow: policy must not be more aggressive than baseline"};
+  policy_[v] = policy;
+  policy_until_[v] = until;
+}
+
+void TrafficFlow::force_stop(VehicleId v, double decel_mps2, sim::Time until) {
+  if (decel_mps2 <= 0.0 || decel_mps2 > kMaxPhysicalDecel)
+    throw std::invalid_argument{"TrafficFlow: force_stop decel must be in (0, 9] m/s^2"};
+  forced_[v] = 1;
+  forced_decel_[v] = decel_mps2;
+  forced_until_[v] = until;
+}
+
+bool TrafficFlow::signal_red_at(const RoadSpec& r, sim::Time t) const {
+  if (r.signal_green.is_zero() || r.stop_line_m < 0.0) return false;
+  const sim::Time cycle = r.signal_green + r.signal_red;
+  const sim::Time phase = (t + cycle - r.signal_offset) % cycle;
+  return phase >= r.signal_green;
+}
+
+void TrafficFlow::spawn_arrivals(sim::Time now) {
+  if (params_.flow_rate_veh_per_s_per_lane <= 0.0) return;
+  const double mean_gap_s = 1.0 / params_.flow_rate_veh_per_s_per_lane;
+  const IdmParams& idm = params_.idm;
+  for (std::size_t r = 0; r < params_.roads.size(); ++r) {
+    for (int l = 0; l < params_.roads[r].lanes; ++l) {
+      auto& ls = lane_state(static_cast<std::uint16_t>(r), static_cast<std::uint16_t>(l));
+      while (ls.next_spawn <= now) {
+        if (params_.max_vehicles != 0 && pos_.size() >= params_.max_vehicles) return;
+        double entry_speed = -1.0;
+        if (!ls.column.empty()) {
+          const VehicleId rear = ls.column.back();
+          // A blocked entrance queues the arrival (retried next tick
+          // without a fresh draw), so the arrival pattern stays a pure
+          // function of the spawn stream.
+          const double rear_v = speed_[rear];
+          if (pos_[rear] < idm.vehicle_length_m + idm.min_gap_m + rear_v * idm.time_headway_s)
+            break;
+          entry_speed = rear_v;
+        }
+        const double jitter = params_.speed_jitter_frac;
+        const double v_des =
+            jitter > 0.0 ? idm.desired_speed_mps * ls.rng.uniform(1.0 - jitter, 1.0 + jitter)
+                         : idm.desired_speed_mps;
+        const double v_in = entry_speed < 0.0 ? v_des : std::min(v_des, entry_speed);
+        const VehicleId id = spawn(static_cast<std::uint16_t>(r), static_cast<std::uint16_t>(l),
+                                   0.0, v_in);
+        if (id == kNoVehicle) return;
+        v0_[id] = v_des;
+        ls.next_spawn += sim::Time::seconds(ls.rng.exponential(mean_gap_s));
+      }
+    }
+  }
+}
+
+void TrafficFlow::compute_accels(sim::Time now) {
+  const IdmParams& base = params_.idm;
+  brake_edges_.clear();
+  for (std::size_t r = 0; r < params_.roads.size(); ++r) {
+    const RoadSpec& road = params_.roads[r];
+    const bool red = signal_red_at(road, now);
+    for (int l = 0; l < road.lanes; ++l) {
+      const auto& col =
+          lane_state(static_cast<std::uint16_t>(r), static_cast<std::uint16_t>(l)).column;
+      for (std::size_t i = 0; i < col.size(); ++i) {
+        const VehicleId id = col[i];
+        const double v = speed_[id];
+        double gap = 1e9;
+        double dv = 0.0;
+        if (i > 0) {
+          const VehicleId lead = col[i - 1];
+          gap = pos_[lead] - pos_[id] - base.vehicle_length_m;
+          dv = v - speed_[lead];
+        }
+        // During red, the first vehicle short of the stop line follows a
+        // phantom standing leader parked on the line (vehicles past the
+        // line clear the junction normally).
+        if (red && pos_[id] < road.stop_line_m &&
+            (i == 0 || pos_[col[i - 1]] >= road.stop_line_m)) {
+          const double phantom_gap = road.stop_line_m - pos_[id];
+          if (phantom_gap < gap) {
+            gap = phantom_gap;
+            dv = v;
+          }
+        }
+        IdmParams eff = base;
+        eff.desired_speed_mps = v0_[id];
+        if (policy_until_[id] > now) {
+          eff.time_headway_s *= policy_[id].headway_scale;
+          eff.desired_speed_mps = std::min(eff.desired_speed_mps, policy_[id].speed_cap_mps);
+        }
+        double a = std::max(idm_acceleration(eff, v, gap, dv), -kMaxPhysicalDecel);
+        if (forced_[id] != 0) {
+          if (now >= forced_until_[id]) {
+            forced_[id] = 0;
+          } else {
+            a = v > 0.0 ? std::min(a, -forced_decel_[id]) : 0.0;
+          }
+        }
+        accel_[id] = a;
+        if (a <= -params_.hard_brake_threshold_mps2) {
+          if (braking_[id] == 0) {
+            braking_[id] = 1;
+            brake_edges_.push_back(id);
+          }
+        } else if (a > -0.5 * params_.hard_brake_threshold_mps2) {
+          braking_[id] = 0;
+        }
+      }
+    }
+  }
+}
+
+void TrafficFlow::integrate_and_cull(sim::Time now) {
+  const double dt = params_.tick.to_seconds();
+  const double now_s = now.to_seconds();
+  for (std::size_t r = 0; r < params_.roads.size(); ++r) {
+    const RoadSpec& road = params_.roads[r];
+    for (int l = 0; l < road.lanes; ++l) {
+      auto& col = lane_state(static_cast<std::uint16_t>(r), static_cast<std::uint16_t>(l)).column;
+      for (const VehicleId id : col) {
+        // Semi-implicit Euler: speed first, then position with the new
+        // speed. All accelerations came from the previous tick's state,
+        // so the update is synchronous across every column.
+        const double v_new = std::max(0.0, speed_[id] + accel_[id] * dt);
+        pos_[id] += v_new * dt;
+        speed_[id] = v_new;
+        if (slow_stats_armed_ && slowed_[id] == 0 && v_new < params_.slow_speed_mps) {
+          slowed_[id] = 1;
+          slow_events_.push_back({id, now_s, pos_[id], static_cast<std::uint16_t>(r),
+                                  static_cast<std::uint16_t>(l)});
+        }
+      }
+      while (!col.empty() && pos_[col.front()] >= road.length_m) {
+        const VehicleId gone = col.front();
+        col.erase(col.begin());
+        pos_[gone] = road.length_m;
+        speed_[gone] = 0.0;
+        accel_[gone] = 0.0;
+        active_[gone] = 0;
+        --active_count_;
+        if (on_despawn_) on_despawn_(gone);
+      }
+    }
+  }
+}
+
+void TrafficFlow::step(sim::Scheduler& sched) {
+  const sim::Time now = sched.now();
+  spawn_arrivals(now);
+  compute_accels(now);
+  // Edges fire after the full sweep so a callback (e.g. EBL warning
+  // origination) observes a consistent acceleration field; any policy it
+  // installs takes effect from the *next* tick.
+  for (const VehicleId id : brake_edges_) {
+    if (on_hard_brake_) on_hard_brake_(id);
+  }
+  integrate_and_cull(now);
+  last_step_ = now;
+  ++ticks_;
+  if (ticks_ % static_cast<std::uint64_t>(params_.speed_sample_every_ticks) == 0) {
+    double sum = 0.0;
+    std::uint32_t n = 0;
+    for (const auto& ls : lanes_) {
+      for (const VehicleId id : ls.column) {
+        sum += speed_[id];
+        ++n;
+      }
+    }
+    speed_series_.push_back({now.to_seconds(), n > 0 ? sum / n : 0.0, n});
+  }
+  const sim::Time next = now + params_.tick;
+  if (next <= params_.end) {
+    tick_event_ = sched.schedule_at(next, [this] { step(*sched_); });
+  } else {
+    tick_event_ = sim::kInvalidEventId;
+  }
+}
+
+Vec2 TrafficFlow::position_of(VehicleId v, sim::Time t) const {
+  const RoadSpec& r = params_.roads[road_[v]];
+  double s = pos_[v];
+  if (active_[v] != 0 && t > last_step_) s += speed_[v] * (t - last_step_).to_seconds();
+  s = std::min(s, r.length_m);
+  const Vec2 perp{-r.direction.y, r.direction.x};
+  const double offset = (static_cast<double>(lane_[v]) + 0.5) * r.lane_width_m;
+  return r.origin + r.direction * s + perp * offset;
+}
+
+Vec2 TrafficFlow::velocity_of(VehicleId v) const {
+  if (active_[v] == 0) return {};
+  return params_.roads[road_[v]].direction * speed_[v];
+}
+
+std::shared_ptr<MobilityModel> TrafficFlow::make_mobility(VehicleId v) {
+  return std::make_shared<IdmVehicle>(this, v);
+}
+
+}  // namespace eblnet::mobility

@@ -1,0 +1,256 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "mobility/dynamics.hpp"
+#include "mobility/idm.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/vec2.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace eblnet::mobility {
+
+/// One directed road: vehicles travel from `origin` along `direction`
+/// for `length_m` metres across `lanes` parallel lanes (no lane
+/// changes — each lane is an independent IDM column, which models
+/// per-lane capacity without overtaking dynamics). A road with
+/// `signal_green > 0` carries a fixed-cycle signal at `stop_line_m`:
+/// during red, the first vehicle short of the stop line follows a
+/// phantom standing leader parked on the line.
+struct RoadSpec {
+  Vec2 origin{};
+  Vec2 direction{1.0, 0.0};  ///< normalized at construction
+  double length_m{10'000.0};
+  int lanes{1};
+  double lane_width_m{3.5};
+  double stop_line_m{-1.0};        ///< < 0: no signal on this road
+  sim::Time signal_green{};        ///< zero: no signal on this road
+  sim::Time signal_red{};
+  sim::Time signal_offset{};       ///< phase shift of the green window
+};
+
+/// Configuration for a `TrafficFlow` engine.
+struct TrafficFlowParams {
+  std::vector<RoadSpec> roads;
+  IdmParams idm{};
+  /// Mean vehicle arrival rate per lane (Poisson process; inter-arrival
+  /// times are exponential draws from the engine's dedicated spawn
+  /// stream). Zero disables spawning — vehicles come from `spawn()`.
+  double flow_rate_veh_per_s_per_lane{0.2};
+  /// Per-vehicle desired-speed heterogeneity: each vehicle's v0 is drawn
+  /// uniformly from idm.desired_speed_mps · [1 − jitter, 1 + jitter].
+  double speed_jitter_frac{0.0};
+  sim::Time tick{sim::Time::milliseconds(100)};  ///< integration step
+  sim::Time end{sim::Time::max()};               ///< last tick fires at or before this
+  /// Stop allocating once this many vehicles have ever spawned
+  /// (0 = unbounded). Spawning resumes never — it is a hard cap.
+  std::size_t max_vehicles{0};
+  /// Accelerations at or below −threshold fire the hard-brake edge
+  /// callback (the hook EBL origination listens on).
+  double hard_brake_threshold_mps2{4.0};
+  /// Speeds below this count as "slowed" for shockwave statistics.
+  double slow_speed_mps{5.0};
+  /// Record one mean-speed sample every this many ticks.
+  int speed_sample_every_ticks{10};
+
+  /// Straight multi-lane highway along +x.
+  static TrafficFlowParams highway(int lanes, double length_m, double flow_veh_per_s_per_lane);
+  /// Two perpendicular single-lane arms crossing mid-span, with exactly
+  /// complementary signal phases (arm 0 green while arm 1 red and vice
+  /// versa).
+  static TrafficFlowParams intersection(double arm_length_m, double flow_veh_per_s_per_lane,
+                                        sim::Time green, sim::Time red);
+};
+
+/// Driving-policy override applied to a vehicle by the reactive-braking
+/// hook: scales the IDM time headway (larger = more cautious gap) and
+/// caps the desired speed. Expires at an absolute time, after which the
+/// vehicle reverts to its spawn parameters.
+struct DrivingPolicy {
+  double headway_scale{1.0};
+  double speed_cap_mps{std::numeric_limits<double>::infinity()};
+};
+
+/// One "vehicle slowed below threshold" record for shockwave analysis.
+struct SlowEvent {
+  std::uint32_t vehicle;
+  double t_s;      ///< first time speed dropped below slow_speed_mps
+  double pos_m;    ///< longitudinal position at that moment
+  std::uint16_t road;
+  std::uint16_t lane;
+};
+
+/// Periodic aggregate sample of the whole flow.
+struct SpeedSample {
+  double t_s;
+  double mean_speed_mps;
+  std::uint32_t active;
+};
+
+/// Closed-loop car-following traffic engine: the canonical
+/// `DynamicsModel`. All vehicle state lives in structure-of-arrays
+/// vectors indexed by a dense spawn-ordered vehicle id (ids are never
+/// reused; despawned vehicles deactivate and freeze in place). Each
+/// (road, lane) pair is an independent front-to-back ordered IDM column.
+///
+/// Integration is a synchronous semi-implicit Euler step on a fixed
+/// tick: every vehicle's acceleration is computed from the *previous*
+/// tick's state, then all speeds and positions advance together — update
+/// order within a tick cannot leak into the dynamics, so results are
+/// independent of column iteration order.
+///
+/// Determinism: spawning draws from a dedicated Rng derived from the
+/// seed passed at construction (splitmix-mixed, one child stream per
+/// lane in fixed lane order), so network-side draws (e.g. rebroadcast
+/// jitter, which varies with market penetration) never perturb the
+/// arrival pattern — sweeps compare identical traffic.
+///
+/// Read side: `make_mobility(id)` returns a `MobilityModel` view that
+/// extrapolates linearly from the last tick; the engine must outlive
+/// every view.
+class TrafficFlow final : public DynamicsModel {
+ public:
+  using VehicleId = std::uint32_t;
+  static constexpr VehicleId kNoVehicle = UINT32_MAX;
+
+  /// `seed` feeds the dedicated spawn stream only. Throws
+  /// std::invalid_argument on malformed params (no roads, non-positive
+  /// tick/rate/lane count, zero-length direction).
+  TrafficFlow(TrafficFlowParams params, std::uint64_t seed);
+
+  TrafficFlow(const TrafficFlow&) = delete;
+  TrafficFlow& operator=(const TrafficFlow&) = delete;
+
+  // -- DynamicsModel ---------------------------------------------------
+  void start(sim::Scheduler& sched) override;
+  void stop() override;
+  /// v0·(1 + jitter) plus one tick of full-throttle Euler overshoot —
+  /// IDM free acceleration is positive only below v0, so a vehicle can
+  /// exceed its desired speed by at most a·dt.
+  double max_speed_bound_mps() const override;
+
+  const TrafficFlowParams& params() const noexcept { return params_; }
+
+  // -- vehicle lifecycle -----------------------------------------------
+  /// Manually inject a vehicle at longitudinal position `pos_m` moving
+  /// at `speed_mps` (kNoVehicle if the max_vehicles cap is hit). The
+  /// caller must keep columns ordered: `pos_m` must be strictly behind
+  /// the rearmost vehicle already in (road, lane).
+  VehicleId spawn(std::uint16_t road, std::uint16_t lane, double pos_m, double speed_mps);
+
+  std::size_t spawned_total() const noexcept { return pos_.size(); }
+  std::size_t active_count() const noexcept { return active_count_; }
+  bool active(VehicleId v) const { return active_[v] != 0; }
+  double longitudinal_pos(VehicleId v) const { return pos_[v]; }
+  double speed_of(VehicleId v) const { return speed_[v]; }
+  std::uint16_t road_of(VehicleId v) const { return road_[v]; }
+  std::uint16_t lane_of(VehicleId v) const { return lane_[v]; }
+
+  /// World-frame position at `t`, extrapolating from the last tick
+  /// (clamped to the road extent; frozen once despawned).
+  Vec2 position_of(VehicleId v, sim::Time t) const;
+  Vec2 velocity_of(VehicleId v) const;
+
+  /// Read-side view bound to one vehicle. The engine must outlive it.
+  std::shared_ptr<MobilityModel> make_mobility(VehicleId v);
+
+  // -- closed-loop hooks -------------------------------------------------
+  /// Fired (synchronously, inside the tick) when a vehicle enters /
+  /// permanently leaves the road, and on the rising edge of hard braking.
+  void set_on_spawn(std::function<void(VehicleId)> cb) { on_spawn_ = std::move(cb); }
+  void set_on_despawn(std::function<void(VehicleId)> cb) { on_despawn_ = std::move(cb); }
+  void set_on_hard_brake(std::function<void(VehicleId)> cb) { on_hard_brake_ = std::move(cb); }
+
+  /// Install a policy override on `v` until absolute time `until` (the
+  /// reactive-braking hook: a received EBL warning widens the target gap
+  /// and caps speed *before* the driver can see brake lights).
+  void apply_policy(VehicleId v, DrivingPolicy policy, sim::Time until);
+
+  /// Force `v` to brake at `decel` to a standstill and hold until the
+  /// absolute time `until` (the staged incident that seeds a shockwave).
+  void force_stop(VehicleId v, double decel_mps2, sim::Time until);
+
+  // -- shockwave / congestion statistics ---------------------------------
+  /// Start recording first-slow events (call when the incident begins so
+  /// pre-incident noise — red signals, spawn transients — is excluded).
+  void arm_slow_stats() { slow_stats_armed_ = true; }
+  const std::vector<SlowEvent>& slow_events() const noexcept { return slow_events_; }
+  const std::vector<SpeedSample>& speed_series() const noexcept { return speed_series_; }
+  std::uint64_t ticks_executed() const noexcept { return ticks_; }
+
+ private:
+  struct LaneState {
+    std::vector<VehicleId> column;  ///< front (largest pos) to back
+    sim::Time next_spawn{};
+    sim::Rng rng;                   ///< dedicated per-lane spawn stream
+  };
+
+  void step(sim::Scheduler& sched);
+  void spawn_arrivals(sim::Time now);
+  void compute_accels(sim::Time now);
+  void integrate_and_cull(sim::Time now);
+  bool signal_red_at(const RoadSpec& r, sim::Time t) const;
+  LaneState& lane_state(std::uint16_t road, std::uint16_t lane) {
+    return lanes_[lane_base_[road] + lane];
+  }
+
+  TrafficFlowParams params_;
+  std::vector<LaneState> lanes_;
+  std::vector<std::size_t> lane_base_;  ///< road -> first index into lanes_
+
+  // SoA per-vehicle state, indexed by VehicleId (spawn order).
+  std::vector<double> pos_;     ///< longitudinal metres along the road
+  std::vector<double> speed_;
+  std::vector<double> accel_;
+  std::vector<double> v0_;      ///< per-vehicle desired speed
+  std::vector<std::uint16_t> road_;
+  std::vector<std::uint16_t> lane_;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> braking_;   ///< hard-brake edge latch
+  std::vector<std::uint8_t> forced_;    ///< force_stop override live
+  std::vector<double> forced_decel_;
+  std::vector<sim::Time> forced_until_;
+  std::vector<DrivingPolicy> policy_;
+  std::vector<sim::Time> policy_until_;
+  std::vector<std::uint8_t> slowed_;    ///< already recorded a SlowEvent
+
+  std::function<void(VehicleId)> on_spawn_;
+  std::function<void(VehicleId)> on_despawn_;
+  std::function<void(VehicleId)> on_hard_brake_;
+
+  std::vector<SlowEvent> slow_events_;
+  std::vector<SpeedSample> speed_series_;
+  std::vector<VehicleId> brake_edges_;  ///< per-tick scratch, reused
+  bool slow_stats_armed_{false};
+
+  sim::Scheduler* sched_{nullptr};
+  sim::EventId tick_event_{sim::kInvalidEventId};
+  sim::Time last_step_{};
+  std::uint64_t ticks_{0};
+  std::size_t active_count_{0};
+};
+
+/// Read-side adapter: one vehicle of a `TrafficFlow`, presented through
+/// the unchanged `MobilityModel` interface so phy / SpatialGrid /
+/// nam_export consume dynamics-driven vehicles with zero changes.
+class IdmVehicle final : public MobilityModel {
+ public:
+  IdmVehicle(TrafficFlow* flow, TrafficFlow::VehicleId id) : flow_{flow}, id_{id} {}
+
+  Vec2 position_at(sim::Time t) const override { return flow_->position_of(id_, t); }
+  Vec2 velocity_at(sim::Time) const override { return flow_->velocity_of(id_); }
+
+  TrafficFlow::VehicleId vehicle_id() const noexcept { return id_; }
+
+ private:
+  TrafficFlow* flow_;
+  TrafficFlow::VehicleId id_;
+};
+
+}  // namespace eblnet::mobility

@@ -220,8 +220,20 @@ double Channel::mobility_slack() const noexcept {
   // Bucketed positions are at most grid_rebucket_period old, so the
   // farthest an in-range phy's bucket can sit from its true position is
   // the mobility slack; the epsilon absorbs range_for_threshold's
-  // bisection rounding at the exact threshold distance.
-  return params_.grid_max_speed_mps * params_.grid_rebucket_period.to_seconds() + 1e-6;
+  // bisection rounding at the exact threshold distance. The speed bound
+  // is the larger of the static closed-form assumption and whatever a
+  // stateful dynamics engine has declared via raise_speed_bound().
+  return speed_bound_mps() * params_.grid_rebucket_period.to_seconds() + 1e-6;
+}
+
+void Channel::raise_speed_bound(double mps) {
+  if (!(mps >= 0.0)) throw std::invalid_argument{"Channel: speed bound must be >= 0"};
+  if (mps <= dynamic_speed_bound_mps_) return;
+  const double old_effective = speed_bound_mps();
+  dynamic_speed_bound_mps_ = mps;
+  // Cull radii and the cell size bake the slack in at (re)build time; a
+  // larger bound invalidates them, so the next grid transmit rebuilds.
+  if (speed_bound_mps() > old_effective) range_dirty_ = true;
 }
 
 double Channel::query_radius() const noexcept { return interference_range_m_ + mobility_slack(); }

@@ -230,6 +230,22 @@ class Channel {
   /// True when the next transmit will take the grid path.
   bool grid_active() const noexcept { return phys_.size() >= params_.grid_min_phys; }
 
+  /// Declare that attached phys may move at up to `mps` metres/second.
+  /// `ChannelParams::grid_max_speed_mps` is an *assumption* that holds for
+  /// the closed-form scripted models (their speeds are fixed at
+  /// construction), but a stateful dynamics engine (mobility::TrafficFlow)
+  /// can accelerate vehicles past any static guess — so it must declare
+  /// its own bound here and the re-bucketing staleness slack uses
+  /// max(assumed, declared). The bound is monotone (it only ever grows);
+  /// raising it past the slack baked into the current cull radii forces a
+  /// grid rebuild on the next transmit, so an accelerating vehicle can
+  /// never outrun its cull radius.
+  void raise_speed_bound(double mps);
+  double speed_bound_mps() const noexcept {
+    return dynamic_speed_bound_mps_ > params_.grid_max_speed_mps ? dynamic_speed_bound_mps_
+                                                                 : params_.grid_max_speed_mps;
+  }
+
   // --- statistics (the perf_scale bench's scaling evidence) ---
   /// Transmissions fanned out.
   std::uint64_t broadcasts() const noexcept { return broadcast_count_; }
@@ -299,6 +315,9 @@ class Channel {
   bool range_dirty_{true};
   sim::Time last_rebucket_{};
   double interference_range_m_{0.0};
+  /// Monotone speed bound declared by a stateful dynamics side (see
+  /// raise_speed_bound); 0 when only closed-form models are attached.
+  double dynamic_speed_bound_mps_{0.0};
   /// Extremes over attached phys; conservative (never shrink on detach).
   double max_tx_power_w_{0.0};
   double min_cs_threshold_w_{std::numeric_limits<double>::infinity()};

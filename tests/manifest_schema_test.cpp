@@ -185,7 +185,7 @@ core::TrialResult quick_faulted_trial() {
 TEST(ManifestSchemaTest, TrialManifestMatchesGolden) {
   std::ostringstream ss;
   core::report::write_json(ss, quick_trial());
-  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_trial_v2.keys");
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_trial_v3.keys");
 }
 
 TEST(ManifestSchemaTest, SweepManifestMatchesGolden) {
@@ -193,7 +193,7 @@ TEST(ManifestSchemaTest, SweepManifestMatchesGolden) {
   const core::TrialResult trials[] = {r, r};
   std::ostringstream ss;
   core::report::write_sweep_json(ss, "schema-sweep", trials);
-  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_sweep_v2.keys");
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_sweep_v3.keys");
 }
 
 TEST(ManifestSchemaTest, ResilienceManifestMatchesGolden) {
@@ -207,7 +207,23 @@ TEST(ManifestSchemaTest, ResilienceManifestMatchesGolden) {
   const core::report::ResilienceCell cells[] = {cell};
   std::ostringstream ss;
   core::report::write_resilience_json(ss, "schema-resilience", baselines, cells);
-  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_resilience_v2.keys");
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_resilience_v3.keys");
+}
+
+TEST(ManifestSchemaTest, TrafficManifestMatchesGolden) {
+  // A tiny closed-loop run: one lane, a short road, an early incident —
+  // enough to populate every row field without a long simulation.
+  core::TrafficConfig cfg;
+  cfg.flow = mobility::TrafficFlowParams::highway(/*lanes=*/1, /*length_m=*/600.0,
+                                                  /*flow_veh_per_s_per_lane=*/0.5);
+  cfg.duration = sim::Time::seconds(std::int64_t{40});
+  cfg.incident_at = sim::Time::seconds(std::int64_t{15});
+  cfg.seed = 7;
+  const std::vector<core::TrafficRunResult> cells{
+      core::ScenarioBuilder().with_traffic_flow(cfg).run_traffic("p=1.00")};
+  std::ostringstream ss;
+  core::report::write_traffic_json(ss, "schema-traffic", cfg, cells);
+  expect_schema_matches(KeyPathExtractor::extract(ss.str()), "manifest_traffic_v3.keys");
 }
 
 TEST(ManifestSchemaTest, SchemaVersionIsDeclared) {

@@ -27,7 +27,7 @@ TEST(ReportTest, DelaySeriesPrintsRowsAndTruncates) {
   std::ostringstream os;
   std::vector<trace::DelaySample> samples;
   for (std::uint64_t i = 0; i < 10; ++i) samples.push_back(sample(i, 1.0 + i, 0.5));
-  report::print_delay_series(os, "title", samples, 3);
+  report::print_delay_series({os, 6, "s"}, "title", samples, 3);
   const std::string out = os.str();
   EXPECT_NE(out.find("title"), std::string::npos);
   EXPECT_NE(out.find("packet_id"), std::string::npos);
@@ -40,7 +40,7 @@ TEST(ReportTest, ThroughputSeriesPrintsPoints) {
   stats::TimeSeries ts;
   ts.add(sim::Time::seconds(0.1), 1.25);
   ts.add(sim::Time::seconds(0.2), 2.5);
-  report::print_throughput_series(os, "tput", ts);
+  report::print_throughput_series({os, 4, "Mb/s"}, "tput", ts);
   EXPECT_NE(os.str().find("1.2500"), std::string::npos);
   EXPECT_NE(os.str().find("2.5000"), std::string::npos);
 }
@@ -48,12 +48,12 @@ TEST(ReportTest, ThroughputSeriesPrintsPoints) {
 TEST(ReportTest, SummaryRowHandlesEmptyAndFull) {
   std::ostringstream os;
   stats::Summary s;
-  report::print_summary_row(os, "empty", s, "s");
+  report::print_summary_row({os, 4, "s"}, "empty", s);
   EXPECT_NE(os.str().find("(no samples)"), std::string::npos);
   s.add(1.0);
   s.add(3.0);
   std::ostringstream os2;
-  report::print_summary_row(os2, "full", s, "s");
+  report::print_summary_row({os2, 4, "s"}, "full", s);
   EXPECT_NE(os2.str().find("avg=2.0000"), std::string::npos);
   EXPECT_NE(os2.str().find("min=1.0000"), std::string::npos);
   EXPECT_NE(os2.str().find("n=2"), std::string::npos);
@@ -66,7 +66,7 @@ TEST(ReportTest, ConfidenceSentenceMatchesPaperPhrasing) {
   ci.half_width = 0.0596;
   ci.confidence = 0.95;
   ci.samples = 10;
-  report::print_confidence(os, "throughput", ci, "Mbps");
+  report::print_confidence({os, 4, "Mbps"}, "throughput", ci);
   const std::string out = os.str();
   EXPECT_NE(out.find("within 0.0596 Mbps"), std::string::npos);
   EXPECT_NE(out.find("95% confidence"), std::string::npos);

@@ -443,6 +443,83 @@ TEST(SpatialGridSoA, CrashedNodeCulledIdenticallyInBatchedAndExactLegs) {
 }
 
 // ---------------------------------------------------------------------------
+// Re-bucketing staleness bound vs a stateful dynamics side
+// ---------------------------------------------------------------------------
+
+TEST(SpatialGridStaleness, DynamicsFasterThanTheStaticBoundNeedsRaiseSpeedBound) {
+  // The cull radius is padded by grid_max_speed_mps x rebucket_period: a
+  // node can only move that far between re-buckets before its stale
+  // bucket lies outside the padded radius. A stateful dynamics side
+  // whose vehicles are faster than the static bound breaks that
+  // invariant — this test first demonstrates the resulting missed
+  // delivery (the regression), then shows raise_speed_bound (what
+  // TrafficScenario declares at construction) restoring flat-loop
+  // equivalence.
+  ChannelParams grid_params = grid_forced();
+  grid_params.grid_max_speed_mps = 1.0;  // a config sized for near-static nodes
+  grid_params.grid_rebucket_period = Time::seconds(std::int64_t{2});
+  ChannelParams flat_params = grid_params;
+  flat_params.grid_min_phys = static_cast<std::size_t>(-1);
+
+  net::Env grid_env{1}, flat_env{1};
+  Channel grid_ch{grid_env, std::make_shared<TwoRayGround>(), grid_params};
+  Channel flat_ch{flat_env, std::make_shared<TwoRayGround>(), flat_params};
+
+  const PhyParams defaults;
+  const double range =
+      TwoRayGround{}.range_for_threshold(defaults.tx_power_w, defaults.cs_threshold_w);
+  double rx_x = range + 40.0;  // outside carrier range and outside radius + slack (~2 m)
+  const auto rx_pos = [&rx_x] { return mobility::Vec2{rx_x, 0.0}; };
+  const auto origin = [] { return mobility::Vec2{0.0, 0.0}; };
+
+  WirelessPhy grid_tx{grid_env, 0, grid_ch, origin, defaults};
+  WirelessPhy grid_rx{grid_env, 1, grid_ch, rx_pos, defaults};
+  WirelessPhy flat_tx{flat_env, 0, flat_ch, origin, defaults};
+  WirelessPhy flat_rx{flat_env, 1, flat_ch, rx_pos, defaults};
+
+  // t = 0: the first transmit builds the grid; the receiver is bucketed
+  // out of range and both legs correctly deliver to nobody.
+  grid_ch.transmit(grid_tx, make_packet(1), 1_ms);
+  flat_ch.transmit(flat_tx, make_packet(1), 1_ms);
+  ASSERT_TRUE(grid_ch.grid_active());
+  EXPECT_EQ(grid_ch.last_reachable().size(), 0u);
+  EXPECT_EQ(flat_ch.last_reachable().size(), 0u);
+
+  // The receiver closes at 50 m/s — 50x the declared bound. One second
+  // later (inside the re-bucket period) it sits well within carrier
+  // range, but its stale bucket is outside radius + slack: the flat loop
+  // hears it, the grid culls it. This is the miss the dynamics-side
+  // speed bound exists to prevent.
+  grid_env.scheduler().run_until(Time::seconds(std::int64_t{1}));
+  flat_env.scheduler().run_until(Time::seconds(std::int64_t{1}));
+  rx_x = range - 10.0;
+  grid_ch.transmit(grid_tx, make_packet(2), 1_ms);
+  flat_ch.transmit(flat_tx, make_packet(2), 1_ms);
+  ASSERT_EQ(flat_ch.last_reachable().size(), 1u);
+  EXPECT_EQ(grid_ch.last_reachable().size(), 0u)
+      << "the stale static bound unexpectedly covered the fast receiver — "
+         "the regression geometry no longer bites";
+
+  // Declare the true dynamics bound. Raising it past the slack baked
+  // into the current cull radii dirties the grid; the next transmit
+  // rebuilds with fresh buckets and a 50 m/s slack, and the legs agree.
+  grid_ch.raise_speed_bound(50.0);
+  grid_ch.transmit(grid_tx, make_packet(3), 1_ms);
+  flat_ch.transmit(flat_tx, make_packet(3), 1_ms);
+  expect_same_reachable(grid_ch, flat_ch, "after raise_speed_bound");
+  ASSERT_EQ(grid_ch.last_reachable().size(), 1u);
+
+  // Keep moving at the declared speed between re-buckets: the enlarged
+  // slack now covers it without any further rebuild.
+  grid_env.scheduler().run_until(Time::milliseconds(1500));
+  flat_env.scheduler().run_until(Time::milliseconds(1500));
+  rx_x = range - 35.0;
+  grid_ch.transmit(grid_tx, make_packet(4), 1_ms);
+  flat_ch.transmit(flat_tx, make_packet(4), 1_ms);
+  expect_same_reachable(grid_ch, flat_ch, "moving within the declared bound");
+}
+
+// ---------------------------------------------------------------------------
 // range_for_threshold cache
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,300 @@
+// TrafficFlow engine contracts: deterministic Poisson spawning, the
+// vehicle lifecycle, policy/force-stop overrides, signalised
+// intersections, and the MobilityModel read-side view.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "mobility/traffic_flow.hpp"
+#include "sim/scheduler.hpp"
+
+namespace eblnet::mobility {
+namespace {
+
+using sim::Time;
+
+TrafficFlowParams small_highway() {
+  TrafficFlowParams p = TrafficFlowParams::highway(2, 2000.0, 0.3);
+  p.speed_jitter_frac = 0.1;
+  return p;
+}
+
+/// Runs a fresh flow for `seconds` and keeps it around for inspection.
+struct FlowRun {
+  explicit FlowRun(TrafficFlowParams params, std::uint64_t seed, double seconds,
+               bool with_callbacks = false)
+      : flow{std::move(params), seed} {
+    if (with_callbacks) {
+      flow.set_on_spawn([this](TrafficFlow::VehicleId) { ++spawns_seen; });
+      flow.set_on_despawn([this](TrafficFlow::VehicleId) { ++despawns_seen; });
+      flow.set_on_hard_brake([this](TrafficFlow::VehicleId) { ++brakes_seen; });
+    }
+    flow.start(sched);
+    sched.run_until(Time::seconds(seconds));
+  }
+  sim::Scheduler sched;
+  TrafficFlow flow;
+  int spawns_seen{0}, despawns_seen{0}, brakes_seen{0};
+};
+
+void expect_identical_state(const TrafficFlow& a, const TrafficFlow& b) {
+  ASSERT_EQ(a.spawned_total(), b.spawned_total());
+  ASSERT_EQ(a.active_count(), b.active_count());
+  for (TrafficFlow::VehicleId v = 0; v < a.spawned_total(); ++v) {
+    EXPECT_EQ(a.active(v), b.active(v)) << "vehicle " << v;
+    EXPECT_EQ(a.road_of(v), b.road_of(v)) << "vehicle " << v;
+    EXPECT_EQ(a.lane_of(v), b.lane_of(v)) << "vehicle " << v;
+    EXPECT_EQ(a.longitudinal_pos(v), b.longitudinal_pos(v)) << "vehicle " << v;
+    EXPECT_EQ(a.speed_of(v), b.speed_of(v)) << "vehicle " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spawner determinism
+// ---------------------------------------------------------------------------
+
+TEST(TrafficFlowSpawner, SameSeedReproducesTheExactTrafficStream) {
+  FlowRun a{small_highway(), 42, 120.0};
+  FlowRun b{small_highway(), 42, 120.0};
+  ASSERT_GT(a.flow.spawned_total(), 20u);
+  expect_identical_state(a.flow, b.flow);
+}
+
+TEST(TrafficFlowSpawner, DifferentSeedsProduceDifferentStreams) {
+  FlowRun a{small_highway(), 42, 120.0};
+  FlowRun b{small_highway(), 43, 120.0};
+  bool differs = a.flow.spawned_total() != b.flow.spawned_total();
+  for (TrafficFlow::VehicleId v = 0;
+       !differs && v < std::min(a.flow.spawned_total(), b.flow.spawned_total()); ++v) {
+    differs = a.flow.longitudinal_pos(v) != b.flow.longitudinal_pos(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TrafficFlowSpawner, CallbacksObserveButNeverPerturbTheStream) {
+  // The closed-loop hooks (the network side) must be pure observers:
+  // attaching them cannot move a single spawn draw.
+  FlowRun plain{small_highway(), 7, 120.0, /*with_callbacks=*/false};
+  FlowRun hooked{small_highway(), 7, 120.0, /*with_callbacks=*/true};
+  EXPECT_GT(hooked.spawns_seen, 0);
+  expect_identical_state(plain.flow, hooked.flow);
+}
+
+TEST(TrafficFlowSpawner, MaxVehiclesIsAHardCap) {
+  TrafficFlowParams p = small_highway();
+  p.max_vehicles = 10;
+  FlowRun r{p, 1, 300.0};
+  EXPECT_EQ(r.flow.spawned_total(), 10u);
+  EXPECT_EQ(r.flow.spawn(0, 0, 0.0, 0.0), TrafficFlow::kNoVehicle);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle and validation
+// ---------------------------------------------------------------------------
+
+TEST(TrafficFlowLifecycle, SpawnValidatesLaneSpeedAndOrdering) {
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 1000.0, 0.0);
+  TrafficFlow flow{p, 1};
+  EXPECT_THROW(flow.spawn(1, 0, 0.0, 10.0), std::invalid_argument);  // no such road
+  EXPECT_THROW(flow.spawn(0, 1, 0.0, 10.0), std::invalid_argument);  // no such lane
+  EXPECT_THROW(flow.spawn(0, 0, 0.0, 1e6), std::invalid_argument);   // above speed bound
+  EXPECT_THROW(flow.spawn(0, 0, 0.0, -1.0), std::invalid_argument);  // negative speed
+  flow.spawn(0, 0, 100.0, 10.0);
+  // Must enter strictly behind the rearmost vehicle in the column.
+  EXPECT_THROW(flow.spawn(0, 0, 100.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(flow.spawn(0, 0, 150.0, 10.0), std::invalid_argument);
+  EXPECT_NE(flow.spawn(0, 0, 50.0, 10.0), TrafficFlow::kNoVehicle);
+}
+
+TEST(TrafficFlowLifecycle, MalformedParamsThrow) {
+  EXPECT_THROW(TrafficFlow(TrafficFlowParams{}, 1), std::invalid_argument);  // no roads
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 1000.0, 0.2);
+  p.tick = Time::zero();
+  EXPECT_THROW(TrafficFlow(p, 1), std::invalid_argument);
+  p = TrafficFlowParams::highway(1, 1000.0, -0.1);
+  EXPECT_THROW(TrafficFlow(p, 1), std::invalid_argument);
+  p = TrafficFlowParams::highway(0, 1000.0, 0.2);
+  EXPECT_THROW(TrafficFlow(p, 1), std::invalid_argument);
+  p = TrafficFlowParams::highway(1, 1000.0, 0.2);
+  p.speed_jitter_frac = 1.0;
+  EXPECT_THROW(TrafficFlow(p, 1), std::invalid_argument);
+}
+
+TEST(TrafficFlowLifecycle, VehiclesDespawnAtRoadEndAndFreeze) {
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 300.0, 0.0);
+  TrafficFlow flow{p, 1};
+  int despawned = 0;
+  flow.set_on_despawn([&](TrafficFlow::VehicleId) { ++despawned; });
+  const auto v = flow.spawn(0, 0, 0.0, 30.0);
+  sim::Scheduler sched;
+  flow.start(sched);
+  sched.run_until(Time::seconds(std::int64_t{60}));
+
+  EXPECT_EQ(despawned, 1);
+  EXPECT_FALSE(flow.active(v));
+  EXPECT_EQ(flow.active_count(), 0u);
+  EXPECT_DOUBLE_EQ(flow.longitudinal_pos(v), 300.0);  // frozen at the road end
+  EXPECT_EQ(flow.velocity_of(v).x, 0.0);
+  // The read side keeps answering (frozen), far beyond the despawn.
+  const Vec2 later = flow.position_of(v, Time::seconds(std::int64_t{120}));
+  EXPECT_DOUBLE_EQ(later.x, 300.0);
+}
+
+// ---------------------------------------------------------------------------
+// Overrides: force_stop and driving policies
+// ---------------------------------------------------------------------------
+
+TEST(TrafficFlowOverrides, ForceStopBrakesHoldsAndReleases) {
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 100000.0, 0.0);
+  TrafficFlow flow{p, 1};
+  const auto v = flow.spawn(0, 0, 1000.0, 30.0);
+  sim::Scheduler sched;
+  flow.start(sched);
+
+  EXPECT_THROW(flow.force_stop(v, 0.0, Time::seconds(std::int64_t{10})), std::invalid_argument);
+  EXPECT_THROW(flow.force_stop(v, 9.5, Time::seconds(std::int64_t{10})), std::invalid_argument);
+
+  int hard_brakes = 0;
+  flow.set_on_hard_brake([&](TrafficFlow::VehicleId) { ++hard_brakes; });
+  flow.force_stop(v, 6.0, Time::seconds(std::int64_t{30}));
+  sched.run_until(Time::seconds(std::int64_t{10}));
+  EXPECT_EQ(flow.speed_of(v), 0.0);  // 30 m/s at 6 m/s^2: stopped in 5 s
+  EXPECT_EQ(hard_brakes, 1);         // one rising edge, despite many braking ticks
+  const double held_at = flow.longitudinal_pos(v);
+
+  sched.run_until(Time::seconds(std::int64_t{29}));
+  EXPECT_DOUBLE_EQ(flow.longitudinal_pos(v), held_at);  // held at rest
+
+  sched.run_until(Time::seconds(std::int64_t{60}));
+  EXPECT_GT(flow.speed_of(v), 10.0);  // released: free road, accelerating again
+}
+
+TEST(TrafficFlowOverrides, PolicyWidensHeadwayAndCapsSpeedUntilExpiry) {
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 100000.0, 0.0);
+  TrafficFlow flow{p, 1};
+  const auto v = flow.spawn(0, 0, 0.0, 30.0);
+  sim::Scheduler sched;
+  flow.start(sched);
+
+  EXPECT_THROW(flow.apply_policy(v, DrivingPolicy{0.5, 10.0}, Time::seconds(std::int64_t{5})),
+               std::invalid_argument);
+  EXPECT_THROW(flow.apply_policy(v, DrivingPolicy{2.0, -1.0}, Time::seconds(std::int64_t{5})),
+               std::invalid_argument);
+
+  flow.apply_policy(v, DrivingPolicy{2.0, 8.0}, Time::seconds(std::int64_t{40}));
+  sched.run_until(Time::seconds(std::int64_t{30}));
+  EXPECT_LE(flow.speed_of(v), 8.0 + 0.2);  // capped (plus one tick of slack)
+
+  sched.run_until(Time::seconds(std::int64_t{90}));
+  EXPECT_GT(flow.speed_of(v), 25.0);  // expired: back to the spawn v0
+}
+
+// ---------------------------------------------------------------------------
+// Signalised intersection
+// ---------------------------------------------------------------------------
+
+TEST(TrafficFlowSignals, RedHoldsTheColumnAtTheStopLineGreenReleasesIt) {
+  // One signalled road, manual injection: green 5 s, then red 30 s. The
+  // vehicle reaches the stop line during red, waits, and clears on green.
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 600.0, 0.0);
+  p.roads[0].stop_line_m = 300.0;
+  p.roads[0].signal_green = Time::seconds(std::int64_t{5});
+  p.roads[0].signal_red = Time::seconds(std::int64_t{30});
+  TrafficFlow flow{p, 1};
+  const auto v = flow.spawn(0, 0, 0.0, 20.0);
+  sim::Scheduler sched;
+  flow.start(sched);
+
+  // t = 30 s: deep in the red window; held just short of the line.
+  sched.run_until(Time::seconds(std::int64_t{30}));
+  EXPECT_LT(flow.speed_of(v), 0.5);
+  EXPECT_LT(flow.longitudinal_pos(v), 300.0);
+  EXPECT_GT(flow.longitudinal_pos(v), 270.0);
+
+  // Green at t = 35 s: the vehicle clears the line and leaves the road.
+  sched.run_until(Time::seconds(std::int64_t{70}));
+  EXPECT_FALSE(flow.active(v));
+}
+
+TEST(TrafficFlowSignals, IntersectionFactoryPhasesAreComplementary) {
+  const TrafficFlowParams p = TrafficFlowParams::intersection(
+      1000.0, 0.1, Time::seconds(std::int64_t{10}), Time::seconds(std::int64_t{10}));
+  ASSERT_EQ(p.roads.size(), 2u);
+  // Both arms signalled at their mid-span stop lines; the two flows run.
+  FlowRun r{p, 5, 180.0};
+  EXPECT_GT(r.flow.spawned_total(), 10u);
+  // Vehicles use both roads and some have completed their crossing.
+  bool road0 = false, road1 = false;
+  for (TrafficFlow::VehicleId v = 0; v < r.flow.spawned_total(); ++v) {
+    road0 |= r.flow.road_of(v) == 0;
+    road1 |= r.flow.road_of(v) == 1;
+  }
+  EXPECT_TRUE(road0);
+  EXPECT_TRUE(road1);
+}
+
+// ---------------------------------------------------------------------------
+// The read side (MobilityModel view)
+// ---------------------------------------------------------------------------
+
+TEST(TrafficFlowReadSide, ViewExtrapolatesLinearlyBetweenTicks) {
+  TrafficFlowParams p = TrafficFlowParams::highway(2, 10000.0, 0.0);
+  TrafficFlow flow{p, 1};
+  const auto v = flow.spawn(0, 1, 500.0, 20.0);
+  const auto view = flow.make_mobility(v);
+  sim::Scheduler sched;
+  flow.start(sched);
+  sched.run_until(Time::seconds(std::int64_t{10}));
+
+  const Vec2 at_tick = view->position_at(Time::seconds(std::int64_t{10}));
+  const Vec2 vel = view->velocity_at(Time::seconds(std::int64_t{10}));
+  EXPECT_GT(vel.x, 0.0);
+  EXPECT_DOUBLE_EQ(vel.y, 0.0);
+  // Lane 1 of a +x road sits one and a half lane widths off the axis.
+  EXPECT_DOUBLE_EQ(at_tick.y, 1.5 * p.roads[0].lane_width_m);
+  // Mid-tick queries extrapolate with the current velocity.
+  const Time mid = Time::seconds(std::int64_t{10}) + Time::milliseconds(40);
+  const Vec2 at_mid = view->position_at(mid);
+  EXPECT_DOUBLE_EQ(at_mid.x, at_tick.x + vel.x * 0.04);
+  EXPECT_DOUBLE_EQ(at_mid.y, at_tick.y);
+}
+
+TEST(TrafficFlowReadSide, SpeedNeverExceedsTheDeclaredBound) {
+  TrafficFlowParams p = small_highway();
+  TrafficFlow flow{p, 9};
+  const double bound = flow.max_speed_bound_mps();
+  EXPECT_DOUBLE_EQ(bound, p.idm.desired_speed_mps * (1.0 + p.speed_jitter_frac) +
+                              p.idm.max_accel_mps2 * p.tick.to_seconds());
+  sim::Scheduler sched;
+  flow.start(sched);
+  for (int s = 10; s <= 200; s += 10) {
+    sched.run_until(Time::seconds(static_cast<std::int64_t>(s)));
+    for (TrafficFlow::VehicleId v = 0; v < flow.spawned_total(); ++v) {
+      ASSERT_LE(flow.speed_of(v), bound) << "vehicle " << v << " at t=" << s;
+    }
+  }
+}
+
+TEST(TrafficFlowReadSide, StopCancelsTheTickAndStateFreezes) {
+  TrafficFlowParams p = TrafficFlowParams::highway(1, 10000.0, 0.0);
+  TrafficFlow flow{p, 1};
+  const auto v = flow.spawn(0, 0, 0.0, 20.0);
+  sim::Scheduler sched;
+  flow.start(sched);
+  sched.run_until(Time::seconds(std::int64_t{5}));
+  const double pos = flow.longitudinal_pos(v);
+  const std::uint64_t ticks = flow.ticks_executed();
+  flow.stop();
+  sched.run_until(Time::seconds(std::int64_t{10}));
+  EXPECT_EQ(flow.ticks_executed(), ticks);
+  EXPECT_DOUBLE_EQ(flow.longitudinal_pos(v), pos);
+}
+
+}  // namespace
+}  // namespace eblnet::mobility
