@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       specs.push_back({cfg, red ? "RED" : "drop-tail"});
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs, opts.shards}.run_trials(specs);
 
   std::ostream& os = opts.out();
   core::report::print_header({os, 4, ""}, "Ablation — drop-tail vs RED interface queue (trial 1 setup)");

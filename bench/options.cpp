@@ -24,6 +24,7 @@ std::ostream null_stream{&null_buffer};
       << "  --json <path>   write a JSON run manifest (enables metrics collection)\n"
       << "  --seed <n>      override the scenario seed(s)\n"
       << "  --jobs <n>      worker threads for sweeps (0 = auto)\n"
+      << "  --shards <k>    space-sharded engine shards per trial (1 = serial)\n"
       << "  --quiet         suppress the text report\n"
       << "  --help          this message\n";
   std::exit(status);
@@ -61,6 +62,12 @@ Options Options::parse(int argc, char** argv) {
       opt.seed_set = true;
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<unsigned>(parse_u64(opt.program, arg, next(arg)));
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<std::size_t>(parse_u64(opt.program, arg, next(arg)));
+      if (opt.shards == 0) {
+        std::cerr << opt.program << ": --shards expects k >= 1\n";
+        usage(opt.program, 2);
+      }
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -14,6 +14,7 @@ namespace eblnet::bench {
 ///   --json <path>   write a versioned JSON run manifest (enables metrics)
 ///   --seed <n>      override the scenario seed(s)
 ///   --jobs <n>      worker threads for sweep benches (0 = auto)
+///   --shards <k>    space-sharded engine shards per trial (1 = serial)
 ///   --quiet         suppress the text report (JSON still written)
 ///   --help          usage
 ///
@@ -25,6 +26,12 @@ struct Options {
   std::uint64_t seed{0};
   bool seed_set{false};
   unsigned jobs{0};  ///< 0 = EBLNET_JOBS / hardware_concurrency
+  /// Space-sharded conservative engine shards per trial (DESIGN.md §3.9).
+  /// 1 (the default) is the serial engine — every bench stays
+  /// bit-identical to a build without the flag. Benches whose runs the
+  /// sharded engine rejects (fault plans, Nakagami, reactive braking)
+  /// accept the flag but keep those runs serial.
+  std::size_t shards{1};
   bool quiet{false};
   std::vector<std::string> positional;  ///< non-flag arguments, in order
 

@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
 
   const std::size_t n_base = baseline_cfgs.size();
   const std::vector<core::TrialResult> results =
-      core::Runner{opts.jobs}.map(n_base + cells.size(), [&](std::size_t i) {
+      core::Runner{opts.jobs, opts.shards}.map(n_base + cells.size(), [&](std::size_t i) {
         if (i < n_base)
           return core::run_trial(baseline_cfgs[i], "trial" + std::to_string(i + 1) + "/baseline");
         const Cell& c = cells[i - n_base];

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     for (core::TrialSpec& s : seed_sweep(base, opts.want_json())) specs.push_back(std::move(s));
   }
 
-  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs}.run_trials(specs);
+  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs, opts.shards}.run_trials(specs);
 
   std::ostream& os = opts.out();
   report(os, runs, 0 * kSeeds, "Trial 1 (1000 B, TDMA)");

@@ -6,6 +6,7 @@
 // Usage: ebl_intersection [tdma|80211] [packet_bytes]
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -47,17 +48,19 @@ int main(int argc, char** argv) {
             << "  t=" << std::setprecision(0) << cfg.duration.to_seconds() << "s     end\n\n";
 
   // Run the trial; on completion, export a Nam animation of the run (the
-  // paper's workflow launched nam.exe on the NS-2 trace).
+  // paper's workflow launched nam.exe on the NS-2 trace). Outputs go into
+  // results/ next to the bench artifacts, never the working directory.
+  std::filesystem::create_directories("results");
   const core::TrialResult r = builder.run("example", [&](core::EblScenario& s) {
-    std::ofstream nam{"ebl_intersection.nam"};
+    std::ofstream nam{"results/ebl_intersection.nam"};
     std::vector<const mobility::MobilityModel*> models;
     for (std::size_t i = 0; i < s.node_count(); ++i) models.push_back(s.node(i).mobility());
     trace::export_nam(nam, models, s.trace().records(), cfg.duration);
-    std::ofstream tr{"ebl_intersection.tr"};
+    std::ofstream tr{"results/ebl_intersection.tr"};
     trace::write_trace(tr, s.trace().records());
   });
-  std::cout << "(animation written to ebl_intersection.nam, trace to "
-               "ebl_intersection.tr — analyse it with `trace_analysis`)\n\n";
+  std::cout << "(animation written to results/ebl_intersection.nam, trace to "
+               "results/ebl_intersection.tr — analyse it with `trace_analysis`)\n\n";
 
   const auto p1 = r.p1_delay_summary();
   std::cout << std::setprecision(4);

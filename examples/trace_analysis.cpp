@@ -5,7 +5,8 @@
 // drop accounting.
 //
 // Usage: trace_analysis <trace-file>
-//        (run `ebl_intersection` first: it writes ebl_intersection.tr)
+//        (run `ebl_intersection` first: it writes
+//        results/ebl_intersection.tr)
 
 #include <fstream>
 #include <iomanip>

@@ -20,8 +20,13 @@
 # shell stamps it with the run date — the C++ harness stays
 # deterministic), so the perf trajectory across PRs stays visible in one
 # file. Entries are distinguished by their "kind" field ("eblnet.perf",
-# "eblnet.perf_scale", "eblnet.resilience", "eblnet.traffic"). A legacy single-object
-# BENCH_sweep.json is wrapped into a one-entry array on first contact.
+# "eblnet.perf_scale", "eblnet.perf_shard", "eblnet.resilience",
+# "eblnet.traffic"). A legacy single-object BENCH_sweep.json is wrapped
+# into a one-entry array on first contact. --scale appends two entries:
+# the flat-vs-grid sweep and the sharded-engine sweep. After each append
+# the newest entry's median events/s is compared against the previous
+# entry of the same kind; a drop of more than 5% prints a REGRESSION
+# warning (the run is still recorded — the warning is the signal).
 #
 # EBLNET_JOBS=<n> overrides the parallel job count used by the sweep.
 set -eu
@@ -41,39 +46,86 @@ cmake --build "$BUILD"
 RUN=$(mktemp)
 trap 'rm -f "$RUN"' EXIT
 
+# append_run <run-json>: stamp the harness output and push it onto the
+# history array, then compare its median events/s against the previous
+# entry of the same kind (paired-run regression check).
+append_run() {
+  # Migrate a pre-history file (one bare object) into a one-entry array.
+  if [ -f "$HIST" ] && [ "$(head -c1 "$HIST")" = "{" ]; then
+    { printf '[\n'; cat "$HIST"; printf ']\n'; } > "$HIST.tmp"
+    mv "$HIST.tmp" "$HIST"
+  fi
+
+  STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  if [ ! -f "$HIST" ]; then
+    printf '[\n' > "$HIST"
+  else
+    # Drop the closing ']' and separate the new entry from the previous one.
+    sed -i '$d' "$HIST"
+    printf ',\n' >> "$HIST"
+  fi
+  # The run file is a pretty-printed object whose first line is '{': re-emit
+  # it with the timestamp injected as the first field.
+  { printf '{\n  "timestamp": "%s",\n' "$STAMP"; tail -n +2 "$1"; } >> "$HIST"
+  printf ']\n' >> "$HIST"
+  echo "appended run ($STAMP) to $HIST"
+
+  # Paired-run check: median over every events_per_sec in the entry, newest
+  # vs the previous run of the same kind. Advisory only — never fails the
+  # run, but a silent slowdown should at least not be silent.
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$HIST" <<'EOF' || true
+import json, statistics, sys
+
+def rates(entry, out):
+    if isinstance(entry, dict):
+        for k, v in entry.items():
+            if k == "events_per_sec" and isinstance(v, (int, float)):
+                out.append(float(v))
+            else:
+                rates(v, out)
+    elif isinstance(entry, list):
+        for v in entry:
+            rates(v, out)
+    return out
+
+hist = json.load(open(sys.argv[1]))
+kind = hist[-1].get("kind", "")
+prior = [e for e in hist[:-1] if e.get("kind", "") == kind]
+if prior:
+    new = statistics.median(rates(hist[-1], []) or [0.0])
+    old = statistics.median(rates(prior[-1], []) or [0.0])
+    if old > 0 and new < 0.95 * old:
+        print(f"REGRESSION WARNING [{kind}]: median events/s "
+              f"{new:,.0f} is {100 * (1 - new / old):.1f}% below the "
+              f"previous run's {old:,.0f}")
+    elif old > 0:
+        print(f"paired-run check [{kind}]: median events/s {new:,.0f} "
+              f"vs previous {old:,.0f} — ok")
+EOF
+  fi
+}
+
 if [ "$MODE" = "scale" ]; then
   echo "== perf_scale (spatial-grid channel vs flat broadcast loop) =="
   "$BUILD"/bench/perf_scale full --json "$RUN"
+  append_run "$RUN"
+  echo "== perf_scale shards (space-sharded conservative engine) =="
+  "$BUILD"/bench/perf_scale shards full --json "$RUN"
+  append_run "$RUN"
 elif [ "$MODE" = "resilience" ]; then
   echo "== resilience_sweep (paper trials under crash/blackout/PER faults) =="
   "$BUILD"/bench/resilience_sweep --json "$RUN"
+  append_run "$RUN"
 elif [ "$MODE" = "traffic" ]; then
   echo "== traffic_sweep (IDM shockwave vs V2V market penetration) =="
   "$BUILD"/bench/traffic_sweep --json "$RUN"
+  append_run "$RUN"
 else
   echo "== perf_sweep (serial vs parallel confidence sweep) =="
   "$BUILD"/bench/perf_sweep --json "$RUN"
+  append_run "$RUN"
 fi
-
-# Migrate a pre-history file (one bare object) into a one-entry array.
-if [ -f "$HIST" ] && [ "$(head -c1 "$HIST")" = "{" ]; then
-  { printf '[\n'; cat "$HIST"; printf ']\n'; } > "$HIST.tmp"
-  mv "$HIST.tmp" "$HIST"
-fi
-
-STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-if [ ! -f "$HIST" ]; then
-  printf '[\n' > "$HIST"
-else
-  # Drop the closing ']' and separate the new entry from the previous one.
-  sed -i '$d' "$HIST"
-  printf ',\n' >> "$HIST"
-fi
-# The run file is a pretty-printed object whose first line is '{': re-emit
-# it with the timestamp injected as the first field.
-{ printf '{\n  "timestamp": "%s",\n' "$STAMP"; tail -n +2 "$RUN"; } >> "$HIST"
-printf ']\n' >> "$HIST"
-echo "appended run ($STAMP) to $HIST"
 
 echo
 if [ "$MODE" = "resilience" ] || [ "$MODE" = "traffic" ]; then

@@ -15,19 +15,30 @@ ctest --test-dir "$BUILD" --output-on-failure
 # Same test suite under ASan+UBSan: the packet-pool / inline-callback /
 # trace-arena lifetime code is exactly what sanitizers are for. The
 # fault-injection suite (label "fault"), the grid/batched-cull
-# equivalence suite (label "perf"), and the car-following dynamics suite
-# (label "mobility") run as explicit passes: crash / flush /
-# mid-flight-detach paths, the SoA swap-remove bookkeeping, and the
-# spawn/despawn vehicle lifecycle with its closed-loop callbacks are the
+# equivalence suite (label "perf"), the car-following dynamics suite
+# (label "mobility"), and the space-sharded engine suite (label "shard")
+# run as explicit passes: crash / flush / mid-flight-detach paths, the
+# SoA swap-remove bookkeeping, the spawn/despawn vehicle lifecycle with
+# its closed-loop callbacks, and the seam-mailbox handoff are the
 # likeliest places for lifetime bugs, so their sanitizer runs must not be
 # skippable by label filters.
 SAN_BUILD=build-asan
 cmake -B "$SAN_BUILD" -G Ninja -DEBLNET_SANITIZE=ON
 cmake --build "$SAN_BUILD"
-ctest --test-dir "$SAN_BUILD" -LE "fault|perf|mobility" --output-on-failure
+ctest --test-dir "$SAN_BUILD" -LE "fault|perf|mobility|shard" --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L fault --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L perf --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L mobility --output-on-failure
+ctest --test-dir "$SAN_BUILD" -L shard --output-on-failure
+
+# The concurrent suites again under ThreadSanitizer: the sharded engine's
+# promise/bound protocol and the broadcast pipeline's thread-pool fan-out
+# are lock-free/atomic-ordering code, which only TSan can vet.
+TSAN_BUILD=build-tsan
+cmake -B "$TSAN_BUILD" -G Ninja -DEBLNET_TSAN=ON
+cmake --build "$TSAN_BUILD"
+ctest --test-dir "$TSAN_BUILD" -L shard --output-on-failure
+ctest --test-dir "$TSAN_BUILD" -L perf --output-on-failure
 
 mkdir -p "$RESULTS"
 for bench in "$BUILD"/bench/*; do

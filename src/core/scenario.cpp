@@ -54,6 +54,7 @@ EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, en
   if (config_.platoon_size < 2)
     throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
   if (config_.enable_trace) env_.set_trace_sink(&trace_);
+  if (config_.node_rng_streams) env_.enable_node_rng_streams();
   env_.metrics().set_enabled(config_.enable_metrics);
   if (config_.propagation == PropagationType::kNakagami) {
     propagation_ = std::make_shared<phy::NakagamiFading>(config_.nakagami_m, env_.rng());
@@ -137,7 +138,7 @@ void EblScenario::build_nodes() {
     if (config_.use_red_queue) {
       queue::RedParams red = config_.red;
       red.capacity = config_.ifq_capacity;
-      ifq = std::make_unique<queue::RedQueue>(env_.rng(), red);
+      ifq = std::make_unique<queue::RedQueue>(env_.rng_for(id), red);
     } else {
       ifq = std::make_unique<queue::PriQueue>(config_.ifq_capacity);
     }

@@ -122,6 +122,14 @@ struct ScenarioConfig {
   std::uint64_t seed{1};
   bool enable_trace{true};
 
+  /// Give every node its own counter-based RNG stream (seeded from
+  /// mix_seed(seed, node id)) instead of the shared Env stream. Draw
+  /// results then depend only on (seed, node, draw index), never on the
+  /// interleaving of draws across nodes — the property the sharded engine
+  /// needs for serial/parallel equivalence. Off by default: the shared
+  /// stream is the historical behaviour and stays bit-identical.
+  bool node_rng_streams{false};
+
   /// Deterministic fault schedule (sim::FaultPlan). Empty by default —
   /// and an empty plan is guaranteed not to perturb the simulation in any
   /// way (bit-identical traces), so the paper's failure-free trials are

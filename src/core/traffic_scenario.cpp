@@ -32,6 +32,7 @@ TrafficScenario::TrafficScenario(TrafficConfig config)
     throw std::invalid_argument{"TrafficScenario: penetration must be in [0, 1]"};
   if (config_.warn_range_m < 0.0)
     throw std::invalid_argument{"TrafficScenario: warn range must be >= 0"};
+  if (config_.node_rng_streams) env_.enable_node_rng_streams();
 
   propagation_ = std::make_shared<phy::TwoRayGround>();
   channel_ = std::make_unique<phy::Channel>(env_, propagation_, config_.channel);

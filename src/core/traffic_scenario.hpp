@@ -61,6 +61,10 @@ struct TrafficConfig {
 
   sim::Time duration{sim::Time::seconds(std::int64_t{120})};
   std::uint64_t seed{1};
+
+  /// Per-node RNG streams (see ScenarioConfig::node_rng_streams). Required
+  /// by the sharded runner so per-node draws are interleaving-independent.
+  bool node_rng_streams{false};
 };
 
 /// Outcome of one closed-loop traffic run — the row a market-penetration

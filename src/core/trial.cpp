@@ -133,39 +133,25 @@ void compute_delivery_ratios(TrialResult& r, const trace::TraceStore& records) {
 
 }  // namespace
 
-TrialResult run_trial(const ScenarioConfig& config, std::string name,
-                      const std::function<void(EblScenario&)>& after_run) {
-  EblScenario scenario{config};
-  scenario.run();
-  if (after_run) after_run(scenario);
-
+TrialResult extract_trial_result(const ScenarioConfig& config, std::string name,
+                                 const trace::TraceStore& records,
+                                 stats::TimeSeries p1_throughput, stats::TimeSeries p2_throughput,
+                                 TrialMetrics metrics, std::uint64_t events_executed,
+                                 const sim::FaultController* faults) {
   TrialResult r;
   r.name = std::move(name);
   r.config = config;
-  r.events_executed = scenario.env().scheduler().executed_count();
+  r.events_executed = events_executed;
+  r.metrics = std::move(metrics);
 
-  if (config.enable_metrics) {
-    // Fold residual queue occupancy into the registry so the conservation
-    // identity enqueued == dequeued + dropped + removed + residual closes.
-    auto& metrics = scenario.env().metrics();
-    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
-      const net::MacLayer* mac = scenario.node(i).mac();
-      const net::PacketQueue* ifq = mac ? mac->interface_queue() : nullptr;
-      if (ifq && ifq->length() > 0) {
-        metrics.add(static_cast<std::uint32_t>(i), sim::Counter::kIfqResidual, ifq->length());
-      }
-    }
-    r.metrics = metrics.snapshot();
-  }
-
-  const trace::DelayAnalyzer delays{scenario.trace().records()};
+  const trace::DelayAnalyzer delays{records};
   r.p1_middle = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Middle);
   r.p1_trailing = delays.flow(EblScenario::kP1Lead, EblScenario::kP1Trailing);
   r.p2_middle = delays.flow(EblScenario::kP2Lead, EblScenario::kP2Middle);
   r.p2_trailing = delays.flow(EblScenario::kP2Lead, EblScenario::kP2Trailing);
 
-  r.p1_throughput = scenario.throughput1().series();
-  r.p2_throughput = scenario.throughput2().series();
+  r.p1_throughput = std::move(p1_throughput);
+  r.p2_throughput = std::move(p2_throughput);
 
   // Platoon 1 communicates from brake onset to the end of the run;
   // platoon 2 from t=0 until it departs.
@@ -184,7 +170,7 @@ TrialResult run_trial(const ScenarioConfig& config, std::string name,
     r.p1_initial_packet_delay_s = initial;
   }
 
-  for (const auto& rec : scenario.trace().records()) {
+  for (const auto& rec : records) {
     if (rec.action == net::TraceAction::kSend && rec.layer == net::TraceLayer::kMac) {
       if (net::is_routing_control(rec.type)) ++r.routing_control_sends;
       if (rec.type == net::PacketType::kTcpData || rec.type == net::PacketType::kUdpData)
@@ -198,18 +184,46 @@ TrialResult run_trial(const ScenarioConfig& config, std::string name,
   }
 
   r.resilience.faults_enabled = !config.faults.empty();
-  const sim::FaultController& faults = scenario.env().faults();
-  r.resilience.crashes = faults.crashes().size();
-  r.resilience.injected_drops = faults.injected_drops();
-  r.resilience.jam_bursts = faults.jam_bursts();
+  if (faults != nullptr) {
+    r.resilience.crashes = faults->crashes().size();
+    r.resilience.injected_drops = faults->injected_drops();
+    r.resilience.jam_bursts = faults->jam_bursts();
+  }
   if (config.enable_metrics) {
     const sim::GaugeStat reroute = r.metrics.gauge(sim::Gauge::kAodvRerouteSeconds);
     if (reroute.count > 0) r.resilience.time_to_reroute_s = reroute.mean();
   }
   std::tie(r.resilience.outage_start_s, r.resilience.outage_end_s) =
       outage_window(config.faults, config.duration);
-  compute_delivery_ratios(r, scenario.trace().records());
+  compute_delivery_ratios(r, records);
   return r;
+}
+
+TrialResult run_trial(const ScenarioConfig& config, std::string name,
+                      const std::function<void(EblScenario&)>& after_run) {
+  EblScenario scenario{config};
+  scenario.run();
+  if (after_run) after_run(scenario);
+
+  TrialMetrics snapshot;
+  if (config.enable_metrics) {
+    // Fold residual queue occupancy into the registry so the conservation
+    // identity enqueued == dequeued + dropped + removed + residual closes.
+    auto& metrics = scenario.env().metrics();
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+      const net::MacLayer* mac = scenario.node(i).mac();
+      const net::PacketQueue* ifq = mac ? mac->interface_queue() : nullptr;
+      if (ifq && ifq->length() > 0) {
+        metrics.add(static_cast<std::uint32_t>(i), sim::Counter::kIfqResidual, ifq->length());
+      }
+    }
+    snapshot = metrics.snapshot();
+  }
+
+  return extract_trial_result(config, std::move(name), scenario.trace().records(),
+                              scenario.throughput1().series(), scenario.throughput2().series(),
+                              std::move(snapshot), scenario.env().scheduler().executed_count(),
+                              &scenario.env().faults());
 }
 
 }  // namespace eblnet::core

@@ -131,4 +131,15 @@ ScenarioConfig make_trial_config(std::size_t packet_bytes, MacType mac);
 TrialResult run_trial(const ScenarioConfig& config, std::string name = {},
                       const std::function<void(EblScenario&)>& after_run = {});
 
+/// Build a TrialResult from the raw artefacts of a finished run — the
+/// shared back half of run_trial, also fed by the sharded runner with a
+/// k-way-merged trace and pointwise-summed throughput series. `faults`
+/// may be null (e.g. merged runs, which reject fault plans); the
+/// controller-sourced counters then stay zero.
+TrialResult extract_trial_result(const ScenarioConfig& config, std::string name,
+                                 const trace::TraceStore& records,
+                                 stats::TimeSeries p1_throughput, stats::TimeSeries p2_throughput,
+                                 TrialMetrics metrics, std::uint64_t events_executed,
+                                 const sim::FaultController* faults);
+
 }  // namespace eblnet::core

@@ -306,15 +306,31 @@ void Channel::phy_channel_changed(WirelessPhy* phy) {
 void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
   ++broadcast_count_;
   const mobility::Vec2 from = sender.position();
-  const double tx_power = sender.params().tx_power_w;
+  if (seam_hook_) seam_hook_(sender, p, from, duration);
+  collect_receivers(from, sender.params().tx_power_w, sender.channel_id(), &sender,
+                    sender.owner());
+  schedule_deliveries(sender.owner(), std::move(p), duration);
+}
+
+void Channel::inject_remote(net::Packet p, mobility::Vec2 from, double tx_power_w,
+                            std::uint32_t sender_channel_id, sim::Time duration,
+                            net::NodeId src) {
+  ++remote_inject_count_;
+  collect_receivers(from, tx_power_w, sender_channel_id, /*exclude=*/nullptr, src);
+  schedule_deliveries(src, std::move(p), duration);
+}
+
+void Channel::collect_receivers(mobility::Vec2 from, double tx_power_w,
+                                std::uint32_t channel_id, WirelessPhy* exclude,
+                                net::NodeId metrics_owner) {
   scratch_.clear();
 
   const auto consider = [&](WirelessPhy* rx) {
-    if (rx == &sender) return;
+    if (rx == exclude) return;
     ++pair_evaluations_;
-    if (rx->channel_id() != sender.channel_id()) return;  // different frequency
+    if (rx->channel_id() != channel_id) return;  // different frequency
     const double d = mobility::distance(from, rx->position());
-    const double power = propagation_->rx_power(tx_power, d);
+    const double power = propagation_->rx_power(tx_power_w, d);
     if (power < rx->params().cs_threshold_w) return;  // invisible
     scratch_.push_back({rx, rx->chan_slot_, generations_[rx->chan_slot_], power,
                         sim::Time::seconds(d / kSpeedOfLight)});
@@ -326,9 +342,9 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
   const auto consider_candidate = [&](const GridCandidate& c) {
     ++pair_evaluations_;
     WirelessPhy* rx = c.phy;
-    if (rx->channel_id() != sender.channel_id()) return;  // different frequency
+    if (rx->channel_id() != channel_id) return;  // different frequency
     const double d = mobility::distance(from, rx->position());
-    const double power = propagation_->rx_power(tx_power, d);
+    const double power = propagation_->rx_power(tx_power_w, d);
     if (power < c.cs_threshold_w) return;  // invisible
     scratch_.push_back(
         {rx, c.slot, generations_[c.slot], power, sim::Time::seconds(d / kSpeedOfLight)});
@@ -340,26 +356,28 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
     } else if (env_.now() - last_rebucket_ >= params_.grid_rebucket_period) {
       rebucket_all();
     }
-    grid_.update(&sender, from);  // the sender's position is exact and free
+    // The local sender's position is exact and free; a remote sender is
+    // not attached here, so there is nothing to update.
+    if (exclude != nullptr) grid_.update(exclude, from);
     if (params_.batch_cull) {
       // Phase 1: branch-free SoA sweep (range² against per-phy envelope
       // radii + frequency channel), then one batched envelope refinement
       // at the sender's actual tx power.
       const std::uint64_t lanes =
-          grid_.cull(from, query_radius(), sender.channel_id(), &sender, candidates_);
+          grid_.cull(from, query_radius(), channel_id, exclude, candidates_);
       // Phase 1b only helps when the sender is weaker than the channel
       // maximum the cull radii were computed for; at full power the
       // envelope bound keeps every phase-1a survivor (the cull radius IS
       // the envelope range plus slack), so the refinement is a no-op by
       // construction and skipping it changes nothing.
-      if (tx_power < max_tx_power_w_) envelope_cull(tx_power);
+      if (tx_power_w < max_tx_power_w_) envelope_cull(tx_power_w);
       batch_lane_count_ += lanes;
       batch_culled_count_ += lanes - candidates_.size();
-      env_.metrics().add(sender.owner(), sim::Counter::kPhyBatchCulled,
+      env_.metrics().add(metrics_owner, sim::Counter::kPhyBatchCulled,
                          lanes - candidates_.size());
-      env_.metrics().add(sender.owner(), sim::Counter::kPhyBatchSurvivors, candidates_.size());
+      env_.metrics().add(metrics_owner, sim::Counter::kPhyBatchSurvivors, candidates_.size());
     } else {
-      grid_.collect(from, query_radius(), &sender, candidates_);
+      grid_.collect(from, query_radius(), exclude, candidates_);
     }
     // One post-cull sort over survivors (both grid legs): attach-sequence
     // order is exactly the flat loop's iteration order. The sort key
@@ -370,8 +388,6 @@ void Channel::transmit(WirelessPhy& sender, net::Packet p, sim::Time duration) {
   } else {
     for (WirelessPhy* rx : phys_) consider(rx);
   }
-
-  schedule_deliveries(sender.owner(), std::move(p), duration);
 }
 
 void Channel::schedule_deliveries(net::NodeId tx, net::Packet p, sim::Time duration) {

@@ -99,13 +99,7 @@ FaultPlan& FaultPlan::jam(Time at, Time duration, Time period, Time burst,
 
 namespace {
 
-std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) {
-  // splitmix64 finalizer over the xor — decorrelates nearby seeds.
-  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+// mix_seed (splitmix64 finalizer) now lives in sim/rng.hpp.
 
 void validate(const FaultEvent& e) {
   const auto bad = [&](const char* what) {

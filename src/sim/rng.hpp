@@ -6,6 +6,16 @@
 
 namespace eblnet::sim {
 
+/// splitmix64-style avalanche of two words into one seed — the standard
+/// way to derive a domain-separated stream (e.g. per-node Rngs) from a
+/// run seed without consuming the run stream itself.
+constexpr std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic pseudo-random source (xoshiro256++ seeded via
 /// splitmix64). Self-contained so results are identical across standard
 /// libraries and platforms — a requirement for reproducible simulation

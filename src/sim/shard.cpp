@@ -1,0 +1,292 @@
+#include "sim/shard.hpp"
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "sim/thread_pool.hpp"
+
+namespace eblnet::sim {
+
+namespace {
+
+/// Lexicographic (time, seq) order — the one global event order.
+inline bool key_less(Time a_at, std::uint64_t a_seq, Time b_at, std::uint64_t b_seq) noexcept {
+  return a_at < b_at || (a_at == b_at && a_seq < b_seq);
+}
+
+inline std::uint64_t remote_base(std::size_t src) noexcept {
+  return (static_cast<std::uint64_t>(src) + 1) << ShardEngine::kRemoteSeqShift;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SeamMailbox
+// ---------------------------------------------------------------------------
+
+SeamMailbox::SeamMailbox(std::size_t capacity_pow2)
+    : slots_(capacity_pow2), mask_{capacity_pow2 - 1} {
+  if (capacity_pow2 == 0 || (capacity_pow2 & mask_) != 0)
+    throw std::invalid_argument{"SeamMailbox: capacity must be a power of two"};
+}
+
+bool SeamMailbox::try_push(Msg& m) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) return false;
+  slots_[tail & mask_] = std::move(m);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool SeamMailbox::try_pop(Msg& out) {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return false;
+  out = std::move(slots_[head & mask_]);
+  slots_[head & mask_].fn = nullptr;  // release the closure's captures now
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+bool SeamMailbox::empty() const noexcept {
+  return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// ShardEngine
+// ---------------------------------------------------------------------------
+
+ShardEngine::ShardEngine(std::vector<Scheduler*> schedulers, Time horizon, Time lift)
+    : horizon_{horizon}, lift_{lift} {
+  const std::size_t k = schedulers.size();
+  if (k == 0) throw std::invalid_argument{"ShardEngine: need at least one scheduler"};
+  if (k > kMaxShards) throw std::invalid_argument{"ShardEngine: too many shards"};
+  if (k > 1 && !(lift_ > Time::zero()))
+    throw std::invalid_argument{"ShardEngine: lift must be positive"};
+  for (Scheduler* s : schedulers)
+    if (s == nullptr) throw std::invalid_argument{"ShardEngine: null scheduler"};
+
+  shards_holder_ = std::make_unique<PerShard[]>(k);
+  shards_ = Span{shards_holder_.get(), k};
+  for (std::size_t s = 0; s < k; ++s) shards_[s].sched = schedulers[s];
+  boxes_.resize(k * k);
+  for (std::size_t i = 0; i < k * k; ++i) boxes_[i] = std::make_unique<SeamMailbox>();
+  seq_ctr_.assign(k * k, 0);
+  all_idle_mask_ = k == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+}
+
+std::uint64_t ShardEngine::seam_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += shards_[s].stats.posted;
+  return total;
+}
+
+void ShardEngine::post(std::size_t src, std::size_t dst, Time at, std::function<void()> fn) {
+  if (src >= shards_.size() || dst >= shards_.size() || src == dst)
+    throw std::invalid_argument{"ShardEngine::post: bad shard pair"};
+  if (at > horizon_) {
+    ++shards_[src].stats.dropped;
+    return;
+  }
+  SeamMailbox::Msg m;
+  m.at = at;
+  m.seq = remote_base(src) | seq_ctr_[src * shards_.size() + dst]++;
+  m.fn = std::move(fn);
+  SeamMailbox& mb = box(src, dst);
+  while (!mb.try_push(m)) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    // Keep consuming while the seam is full: a spinning producer that
+    // still drains its own inboxes breaks any cycle of mutually-full
+    // seams (the drained messages are all above the current execution
+    // bound, so scheduling them mid-run_below cannot reorder anything).
+    drain_inboxes(src);
+    std::this_thread::yield();
+  }
+  ++shards_[src].stats.posted;
+  // Message-in-flight accounting: the push above happens-before this
+  // seq_cst increment, so a detector that reads posted == received has
+  // also seen the destination finish processing every push counted here.
+  posted_total_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+std::uint64_t ShardEngine::drain_inboxes(std::size_t s) {
+  PerShard& me = shards_[s];
+  std::uint64_t drained = 0;
+  SeamMailbox::Msg m;
+  for (std::size_t j = 0; j < shards_.size(); ++j) {
+    if (j == s) continue;
+    SeamMailbox& mb = box(j, s);
+    while (mb.try_pop(m)) {
+      me.sched->schedule_tagged(m.at, m.seq, [fn = std::move(m.fn)] { fn(); });
+      ++drained;
+    }
+  }
+  me.drained_pending += drained;
+  me.stats.received += drained;
+  return drained;
+}
+
+void ShardEngine::record_failure(std::size_t /*s*/) noexcept {
+  {
+    const std::lock_guard<std::mutex> lock{failure_mutex_};
+    if (!failure_) failure_ = std::current_exception();
+  }
+  abort_.store(true, std::memory_order_release);
+}
+
+void ShardEngine::shard_loop(std::size_t s) {
+  PerShard& me = shards_[s];
+  Scheduler& sch = *me.sched;
+  const std::size_t k = shards_.size();
+  const Time end = horizon_ + Time::nanoseconds(1);
+  const std::uint64_t my_bit = std::uint64_t{1} << s;
+  const std::uint64_t start_executed = sch.executed_count();
+
+  try {
+    while (true) {
+      if (abort_.load(std::memory_order_acquire)) break;
+      const auto iter_start = std::chrono::steady_clock::now();
+
+      // (1) Read peer promises: the execution bound is the smallest key a
+      // peer could still send us; never past (horizon + 1ns, 0) so events
+      // beyond the horizon stay parked.
+      Time bound_at = end;
+      std::uint64_t bound_seq = 0;
+      Time min_in = Time::max();
+      for (std::size_t j = 0; j < k; ++j) {
+        if (j == s) continue;
+        const Time pj = Time::nanoseconds(shards_[j].promise.load(std::memory_order_acquire));
+        if (key_less(pj, remote_base(j), bound_at, bound_seq)) {
+          bound_at = pj;
+          bound_seq = remote_base(j);
+        }
+        if (pj < min_in) min_in = pj;
+      }
+
+      // (2) Drain seams into the heap so the merge below sees them.
+      const std::uint64_t drained = drain_inboxes(s);
+
+      // (3) Publish our promise before executing. A *local* next event
+      // pins the promise to its time: executing it may post cross-seam
+      // at that very instant (the seam hook fires synchronously inside a
+      // transmit). A *replay* next event does not: replay closures never
+      // call post() — radio replays inject into the local channel, policy
+      // replays only mirror state — and the locals they schedule obey the
+      // lift contract (no induced cross-seam post lands within `lift` of
+      // the replay's timestamp). So a pending replay only holds the
+      // promise to its time + lift, clamped by the earliest pending local
+      // event. Without that lift, two shards each holding an
+      // equal-timestamp replay from a third deadlock: both promises
+      // freeze at that timestamp, both bounds stay below the replays'
+      // high remote seq band, and neither replay can ever run. Monotone
+      // by construction.
+      constexpr std::uint64_t remote_floor = std::uint64_t{1} << kRemoteSeqShift;
+      Time next_at{};
+      std::uint64_t next_seq = 0;
+      Time promise = end;
+      if (sch.peek_next_key(next_at, next_seq)) {
+        Time held = next_at;
+        if (next_seq >= remote_floor) {
+          held = next_at + lift_;
+          Time local_at{};
+          if (sch.peek_next_local_time(remote_floor, local_at) && local_at < held)
+            held = local_at;
+        }
+        if (held < promise) promise = held;
+      }
+      if (k > 1 && min_in < Time::max()) {
+        const Time lifted = min_in + lift_;
+        if (lifted < promise) promise = lifted;
+      }
+      if (promise.ns() > me.promise.load(std::memory_order_relaxed))
+        me.promise.store(promise.ns(), std::memory_order_release);
+
+      // (4) Execute everything strictly below the bound.
+      const std::uint64_t ran = sch.run_below(bound_at, bound_seq);
+
+      // (5) Idle/done bookkeeping. Order is load-bearing: the idle bit is
+      // stored (seq_cst) *before* received_total_ is bumped for the drains
+      // this iteration, so a detector that sees our drains reflected in
+      // received_total_ has also seen a bit computed after we processed
+      // them. Combined with the posted==received freeze check this makes
+      // the all-idle observation sound (DESIGN.md §3.9).
+      const bool locals_pending = sch.peek_next_key(next_at, next_seq) && next_at <= horizon_;
+      bool inboxes_empty = true;
+      for (std::size_t j = 0; j < k && inboxes_empty; ++j)
+        if (j != s && !box(j, s).empty()) inboxes_empty = false;
+      const bool idle = !locals_pending && inboxes_empty;
+      if (idle)
+        idle_bits_.fetch_or(my_bit, std::memory_order_seq_cst);
+      else
+        idle_bits_.fetch_and(~my_bit, std::memory_order_seq_cst);
+      if (me.drained_pending != 0) {
+        received_total_.fetch_add(me.drained_pending, std::memory_order_seq_cst);
+        me.drained_pending = 0;
+      }
+
+      if (idle) {
+        // Double-read detector: if the in-flight counters are equal,
+        // unchanged across the bits read, and every shard reported idle in
+        // between, no shard has work <= horizon nor any way to get some.
+        const std::uint64_t p1 = posted_total_.load(std::memory_order_seq_cst);
+        const std::uint64_t r1 = received_total_.load(std::memory_order_seq_cst);
+        if (p1 == r1) {
+          const std::uint64_t bits = idle_bits_.load(std::memory_order_seq_cst);
+          const std::uint64_t p2 = posted_total_.load(std::memory_order_seq_cst);
+          const std::uint64_t r2 = received_total_.load(std::memory_order_seq_cst);
+          if (bits == all_idle_mask_ && p2 == p1 && r2 == r1) {
+            me.promise.store(end.ns(), std::memory_order_release);
+            break;
+          }
+        }
+      }
+
+      if (ran == 0 && drained == 0) {
+        ++me.stats.stall_spins;
+        me.stats.stall_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - iter_start).count();
+        std::this_thread::yield();
+      }
+    }
+
+    if (!abort_.load(std::memory_order_acquire)) {
+      // Everything <= horizon has fired; this just lands the clock there,
+      // matching run_until's inclusive-bound contract.
+      sch.run_until(horizon_);
+    }
+  } catch (...) {
+    record_failure(s);
+    me.promise.store(end.ns(), std::memory_order_release);
+  }
+  me.stats.events = sch.executed_count() - start_executed;
+}
+
+void ShardEngine::run() {
+  if (ran_) throw std::logic_error{"ShardEngine: run() is one-shot"};
+  ran_ = true;
+  const std::size_t k = shards_.size();
+
+  if (k == 1) {
+    // Degenerate case: the serial engine, same code path as an unsharded
+    // run — bit-identical by construction.
+    const std::uint64_t before = shards_[0].sched->executed_count();
+    shards_[0].sched->run_until(horizon_);
+    shards_[0].stats.events = shards_[0].sched->executed_count() - before;
+    return;
+  }
+
+  ThreadPool pool{static_cast<unsigned>(k)};
+  std::vector<std::future<void>> futures;
+  futures.reserve(k);
+  for (std::size_t s = 0; s < k; ++s)
+    futures.push_back(pool.submit([this, s] { shard_loop(s); }));
+  for (auto& f : futures) f.get();  // shard_loop never throws past its catch
+
+  if (failure_) std::rethrow_exception(failure_);
+}
+
+}  // namespace eblnet::sim

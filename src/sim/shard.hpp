@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace eblnet::sim {
+
+/// One seam between two shards: a single-producer single-consumer ring
+/// carrying timestamped cross-shard events. The producer is the source
+/// shard's worker thread (posting from inside event execution), the
+/// consumer is the destination shard's worker thread (draining at the
+/// top of its conservative loop). Lock-free: one release store per
+/// push/pop, no CAS. Capacity is fixed at construction (power of two);
+/// a full ring makes try_push fail without consuming the message — the
+/// engine spins the producer, draining its own inboxes meanwhile, so a
+/// cycle of mutually-full seams cannot deadlock.
+class SeamMailbox {
+ public:
+  struct Msg {
+    Time at{};                 ///< execution time in the destination shard
+    std::uint64_t seq{0};      ///< global merge key: (src+1)<<56 | counter
+    std::function<void()> fn;  ///< replay closure, run on the destination thread
+  };
+
+  explicit SeamMailbox(std::size_t capacity_pow2 = 2048);
+  SeamMailbox(const SeamMailbox&) = delete;
+  SeamMailbox& operator=(const SeamMailbox&) = delete;
+
+  /// Producer side. Returns false (leaving `m` intact) when full.
+  bool try_push(Msg& m);
+  /// Consumer side. Returns false when empty.
+  bool try_pop(Msg& out);
+  /// Consumer-side emptiness check (also safe for the producer: it can
+  /// only observe "non-empty" turning stale, never miss its own push).
+  bool empty() const noexcept;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<Msg> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next pop index (consumer)
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next push index (producer)
+};
+
+/// Per-shard execution counters, filled in by ShardEngine::run().
+struct ShardStats {
+  std::uint64_t events{0};        ///< events executed by this shard's scheduler
+  std::uint64_t posted{0};        ///< seam messages this shard sent
+  std::uint64_t received{0};      ///< seam messages this shard drained
+  std::uint64_t dropped{0};       ///< posts past the horizon (discarded)
+  std::uint64_t stall_spins{0};   ///< loop iterations that made no progress
+  double stall_seconds{0.0};      ///< wall time spent in those iterations
+};
+
+/// Conservative space-parallel driver for K independent Schedulers.
+///
+/// Each shard owns one Scheduler and runs it on a dedicated thread up to
+/// a shared horizon. Shards interact only through timestamped messages
+/// posted across seams; the engine guarantees every shard executes its
+/// (time, seq) event stream in exactly the deterministic global merge
+/// order, where local events carry FIFO sequence numbers (< 2^56) and a
+/// message from shard j carries seq = (j+1)<<56 | counter — so at equal
+/// timestamps, locals run before remotes and remotes order by source
+/// shard. See DESIGN.md §3.9 for the full protocol and proofs.
+///
+/// Synchronization is promise-based (a null-message variant): shard s
+/// publishes a promise p_s — "no future message from me will carry a
+/// timestamp below p_s" — computed as the monotone maximum of
+/// min(next local event time, min incoming promise + lift). The lift is
+/// sound because executing an event at time t can only emit messages at
+/// t or later, and any *induced* cross-seam transmission trails the
+/// triggering one by at least a propagation delay plus a minimum frame
+/// airtime, both far above the default 10 µs. A shard executes events
+/// strictly below min over peers of (p_j, (j+1)<<56), so the merge order
+/// is never speculated: this is conservative parallel discrete-event
+/// simulation, bit-reproducible by construction.
+///
+/// Termination uses global idle detection (idle bitmask + monotone
+/// posted/received counters with a double-read), not promise creep:
+/// when every shard is drained and no message is in flight, all shards
+/// observe the frozen state and exit together, then land their clocks
+/// exactly on the horizon.
+///
+/// k = 1 degenerates to a plain run_until(horizon) on the caller's
+/// thread — the serial engine, bit-identical to an unsharded run.
+class ShardEngine {
+ public:
+  static constexpr std::size_t kMaxShards = 64;  ///< idle mask is one word
+  /// Remote seq numbers start here; local FIFO seqs must stay below.
+  static constexpr std::uint64_t kRemoteSeqShift = 56;
+
+  /// `schedulers[s]` is shard s's event queue (owned by the caller; per
+  /// shard Envs own theirs). `horizon` is inclusive — events at exactly
+  /// that time fire, and every shard's clock ends there. `lift` is the
+  /// promise lookahead increment (must be > 0 when K > 1).
+  ShardEngine(std::vector<Scheduler*> schedulers, Time horizon,
+              Time lift = Time::microseconds(std::int64_t{10}));
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Post `fn` to run in shard `dst` at absolute time `at`, in the
+  /// deterministic merge position for (at, src). Must be called from
+  /// shard `src`'s thread, from inside event execution (so `at` is at or
+  /// after the source's published promise). Posts past the horizon are
+  /// dropped. Blocks (spinning, draining own inboxes) if the seam is
+  /// momentarily full.
+  void post(std::size_t src, std::size_t dst, Time at, std::function<void()> fn);
+
+  /// Run all shards to the horizon. One-shot: a second call throws.
+  /// Rethrows the first exception any shard raised (after all threads
+  /// have stopped).
+  void run();
+
+  std::size_t shards() const noexcept { return shards_.size(); }
+  Time horizon() const noexcept { return horizon_; }
+  Time lift() const noexcept { return lift_; }
+
+  /// Valid after run().
+  const ShardStats& stats(std::size_t s) const { return shards_[s].stats; }
+  /// Total seam messages delivered (sum of posted over shards).
+  std::uint64_t seam_messages() const noexcept;
+
+ private:
+  struct PerShard {
+    alignas(64) std::atomic<std::int64_t> promise{0};  ///< ns; release-published
+    Scheduler* sched{nullptr};
+    ShardStats stats{};
+    std::uint64_t drained_pending{0};  ///< drains not yet flushed to received_total_
+  };
+
+  SeamMailbox& box(std::size_t src, std::size_t dst) {
+    return *boxes_[src * shards_.size() + dst];
+  }
+  /// Move every waiting message from shard s's in-seams into its
+  /// scheduler. Returns the number drained (also accumulated into
+  /// drained_pending; flushed to received_total_ by the loop).
+  std::uint64_t drain_inboxes(std::size_t s);
+  void shard_loop(std::size_t s);
+  void record_failure(std::size_t s) noexcept;
+
+  std::unique_ptr<PerShard[]> shards_holder_;
+  // span-like view so range checks read naturally; sized once in ctor
+  struct Span {
+    PerShard* data{nullptr};
+    std::size_t n{0};
+    PerShard& operator[](std::size_t i) const { return data[i]; }
+    std::size_t size() const noexcept { return n; }
+  } shards_;
+  std::vector<std::unique_ptr<SeamMailbox>> boxes_;  ///< src-major K×K
+  std::vector<std::uint64_t> seq_ctr_;               ///< per (src,dst) message counter
+  Time horizon_{};
+  Time lift_{};
+  std::uint64_t all_idle_mask_{0};
+
+  std::atomic<std::uint64_t> idle_bits_{0};
+  std::atomic<std::uint64_t> posted_total_{0};
+  std::atomic<std::uint64_t> received_total_{0};
+  std::atomic<bool> abort_{false};
+  std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+  bool ran_{false};
+};
+
+}  // namespace eblnet::sim

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "sim/rng.hpp"
 
 namespace eblnet::sim {
 namespace {
@@ -71,6 +75,59 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
     }
   }  // ~ThreadPool joins after the queue is empty
   EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyTinyTasksYieldStableResultOrder) {
+  // Contention determinism: thousands of sub-microsecond tasks racing
+  // over the queue lock must still hand every future the value of *its*
+  // submission, so collecting futures in submission order reproduces the
+  // serial computation exactly — the property both the Runner and the
+  // ShardEngine build on. Two passes over a fixed seed must agree.
+  constexpr std::size_t kTasks = 10000;
+  constexpr std::uint64_t kSeed = 42;
+  const auto sweep = [&] {
+    ThreadPool pool{8};
+    std::vector<std::future<std::uint64_t>> futures;
+    futures.reserve(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.submit([i] { return mix_seed(kSeed, i); }));
+    }
+    std::vector<std::uint64_t> out;
+    out.reserve(kTasks);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+  const std::vector<std::uint64_t> first = sweep();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(first[i], mix_seed(kSeed, i)) << "task " << i << " got another task's slot";
+  }
+  EXPECT_EQ(sweep(), first);  // independent of the workers' interleaving
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersEachSeeTheirOwnResults) {
+  // Multi-producer contention: four threads hammer submit() at once.
+  // Global start order is whatever the lock arbitration makes it, but
+  // each producer's futures must still resolve to its own sequence.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 2000;
+  ThreadPool pool{4};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &mismatches, p] {
+      std::vector<std::future<std::uint64_t>> futures;
+      futures.reserve(kPerProducer);
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        futures.push_back(pool.submit([p, i] { return mix_seed(p, i); }));
+      }
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        if (futures[i].get() != mix_seed(p, i)) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 TEST(ThreadPoolTest, DefaultConcurrencyHonoursEnvOverride) {
