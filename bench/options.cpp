@@ -25,6 +25,8 @@ std::ostream null_stream{&null_buffer};
       << "  --seed <n>      override the scenario seed(s)\n"
       << "  --jobs <n>      worker threads for sweeps (0 = auto)\n"
       << "  --shards <k>    space-sharded engine shards per trial (1 = serial)\n"
+      << "  --cache         serve repeated runs from the content-addressed run cache\n"
+      << "  --cache-dir <d> cache directory (default results/cache)\n"
       << "  --quiet         suppress the text report\n"
       << "  --help          this message\n";
   std::exit(status);
@@ -68,6 +70,10 @@ Options Options::parse(int argc, char** argv) {
         std::cerr << opt.program << ": --shards expects k >= 1\n";
         usage(opt.program, 2);
       }
+    } else if (arg == "--cache") {
+      opt.cache = true;
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = next(arg);
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {

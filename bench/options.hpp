@@ -33,6 +33,13 @@ struct Options {
   /// accept the flag but keep those runs serial.
   std::size_t shards{1};
   bool quiet{false};
+  /// Route trial execution through the content-addressed run cache
+  /// (core::campaign::RunCache): hits load from disk, misses simulate
+  /// and commit. Off by default — the uncached path stays byte-identical
+  /// to a build without the flag, and the cached path produces the same
+  /// bytes anyway (that equivalence is what tests/campaign_test pins).
+  bool cache{false};
+  std::string cache_dir{"results/cache"};  ///< --cache-dir override
   std::vector<std::string> positional;  ///< non-flag arguments, in order
 
   /// Parse argv. Prints usage and exits on --help (status 0) or on a

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/options.hpp"
+#include "core/campaign/campaign.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/safety.hpp"
@@ -114,13 +115,26 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells = make_grid(baseline_cfgs.back());
 
   const std::size_t n_base = baseline_cfgs.size();
-  const std::vector<core::TrialResult> results =
-      core::Runner{opts.jobs, opts.shards}.map(n_base + cells.size(), [&](std::size_t i) {
-        if (i < n_base)
-          return core::run_trial(baseline_cfgs[i], "trial" + std::to_string(i + 1) + "/baseline");
-        const Cell& c = cells[i - n_base];
-        return core::run_trial(c.config, "trial3/" + c.label);
-      });
+  std::vector<core::TrialResult> results;
+  if (opts.cache) {
+    // --cache: the same baseline + fault cells as content-addressed
+    // specs. Fault plans run on the serial engine regardless of --shards
+    // (the sharded engine rejects them), matching the uncached path.
+    std::vector<core::TrialSpec> specs;
+    specs.reserve(n_base + cells.size());
+    for (std::size_t i = 0; i < n_base; ++i)
+      specs.push_back({baseline_cfgs[i], "trial" + std::to_string(i + 1) + "/baseline"});
+    for (const Cell& c : cells) specs.push_back({c.config, "trial3/" + c.label});
+    core::campaign::RunCache cache{opts.cache_dir};
+    results = core::campaign::run_cached_trials(cache, specs, opts.jobs, /*shards=*/1);
+  } else {
+    results = core::Runner{opts.jobs, opts.shards}.map(n_base + cells.size(), [&](std::size_t i) {
+      if (i < n_base)
+        return core::run_trial(baseline_cfgs[i], "trial" + std::to_string(i + 1) + "/baseline");
+      const Cell& c = cells[i - n_base];
+      return core::run_trial(c.config, "trial3/" + c.label);
+    });
+  }
 
   const std::vector<core::TrialResult> baselines{results.begin(),
                                                  results.begin() + static_cast<long>(n_base)};

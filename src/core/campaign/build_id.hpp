@@ -1,0 +1,13 @@
+#pragma once
+
+namespace eblnet::core::campaign {
+
+/// 16-hex-character fingerprint of the src/ tree this binary was built
+/// from (SHA256 over every .cpp/.hpp, truncated), embedded at build time
+/// by cmake/build_id.cmake. The run cache folds it into every entry key:
+/// a result is a pure function of (config, seed, binary), so two builds
+/// of identical sources share cache entries and any source change
+/// invalidates them wholesale — no manual cache flushing on rebuild.
+const char* build_id() noexcept;
+
+}  // namespace eblnet::core::campaign

@@ -14,6 +14,8 @@
 
 namespace eblnet::core {
 
+class JsonWriter;
+
 /// Plain-text rendering helpers shared by the bench binaries: each bench
 /// prints the same rows/series the paper's figure or table shows.
 namespace report {
@@ -57,7 +59,10 @@ void print_header(const ReportContext& ctx, const std::string& title);
 /// v3: config gained a "reactive" block (closed-loop follower braking)
 /// and "eblnet.traffic" (car-following market-penetration sweeps) joined
 /// the manifest kinds.
-inline constexpr int kManifestSchemaVersion = 3;
+/// v4: the metrics block gained the "campaign" run-cache counter layer
+/// and "eblnet.campaign" (cached sweep orchestration) joined the
+/// manifest kinds.
+inline constexpr int kManifestSchemaVersion = 4;
 
 /// Write the versioned JSON run manifest for one finished trial:
 /// config, seed, per-layer metric counters, delay/throughput summaries
@@ -65,6 +70,16 @@ inline constexpr int kManifestSchemaVersion = 3;
 /// TrialResult::metrics (all-zero when the trial ran without
 /// `enable_metrics`).
 void write_json(std::ostream& os, const TrialResult& r);
+
+/// Emit one trial's manifest object through an existing JsonWriter (the
+/// exact object write_json wraps) — campaign manifests and cache entries
+/// embed trial objects inside their own documents with this.
+void write_trial_json(JsonWriter& w, const TrialResult& r);
+
+/// Emit a metrics block (the exact object the trial manifest's "metrics"
+/// key carries) — campaign manifests reuse it for their merged
+/// aggregate, keeping the per-layer grouping identical everywhere.
+void write_metrics_json(JsonWriter& w, const sim::MetricsSnapshot& m);
 
 /// Write a sweep manifest: every trial's manifest plus an aggregate block
 /// (summed events and per-layer counters merged across trials).

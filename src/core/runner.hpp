@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <future>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -65,6 +66,20 @@ class Runner {
   std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs) const {
     return run_trials(std::span<const TrialSpec>{specs});
   }
+
+  /// An in-flight asynchronous batch: `futures[i]` resolves to spec i's
+  /// result; the pool (and the specs it references) stay alive as long
+  /// as the handle does.
+  struct AsyncTrials {
+    std::shared_ptr<sim::ThreadPool> pool;
+    std::vector<std::future<TrialResult>> futures;
+  };
+
+  /// Asynchronous variant of run_trials: submit every spec and return a
+  /// future per spec immediately instead of blocking for the batch. The
+  /// campaign runner streams its manifest in spec order with this while
+  /// later cells are still executing; exceptions surface from get().
+  AsyncTrials start_trials(std::vector<TrialSpec> specs) const;
   std::vector<TrialResult> run_trials(const std::vector<ScenarioConfig>& configs) const {
     return run_trials(std::span<const ScenarioConfig>{configs});
   }
