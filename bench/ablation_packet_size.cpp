@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/options.hpp"
+#include "core/campaign/campaign.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/scenario_builder.hpp"
@@ -17,17 +18,26 @@ using namespace eblnet;
 
 int main(int argc, char** argv) {
   const bench::Options opts = bench::Options::parse(argc, argv);
-  std::vector<core::ScenarioConfig> configs;
+  // Unnamed TrialSpecs: identical to the config-only overload (a config
+  // run carries an empty name), so the cached and uncached paths produce
+  // the same bytes.
+  std::vector<core::TrialSpec> specs;
   for (const core::MacType mac : {core::MacType::kTdma, core::MacType::k80211}) {
     for (const std::size_t bytes : {100, 250, 500, 1000, 1500}) {
       core::ScenarioConfig cfg = core::ScenarioBuilder::trial(bytes, mac)
                                      .duration(sim::Time::seconds(std::int64_t{32}))
                                      .build();
       opts.apply(cfg);
-      configs.push_back(cfg);
+      specs.push_back({cfg, {}});
     }
   }
-  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs, opts.shards}.run_trials(configs);
+  std::vector<core::TrialResult> runs;
+  if (opts.cache) {
+    core::campaign::RunCache cache{opts.cache_dir};
+    runs = core::campaign::run_cached_trials(cache, specs, opts.jobs, opts.shards);
+  } else {
+    runs = core::Runner{opts.jobs, opts.shards}.run_trials(specs);
+  }
 
   std::ostream& os = opts.out();
   core::report::print_header({os, 4, ""}, "Ablation — packet size sweep (platoon 1 metrics)");

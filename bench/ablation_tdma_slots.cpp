@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/options.hpp"
+#include "core/campaign/campaign.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/safety.hpp"
@@ -21,7 +22,10 @@ using namespace eblnet;
 
 int main(int argc, char** argv) {
   const bench::Options opts = bench::Options::parse(argc, argv);
-  std::vector<core::ScenarioConfig> configs;
+  // Unnamed TrialSpecs: identical to the config-only overload (a config
+  // run carries an empty name), so the cached and uncached paths produce
+  // the same bytes.
+  std::vector<core::TrialSpec> specs;
   for (const std::size_t slots : {6, 8, 16, 32, 64, 128}) {
     core::ScenarioConfig cfg = core::ScenarioBuilder::trial1()
                                    .duration(sim::Time::seconds(std::int64_t{42}))
@@ -30,9 +34,15 @@ int main(int argc, char** argv) {
                                      opts.apply(c);
                                    })
                                    .build();
-    configs.push_back(cfg);
+    specs.push_back({cfg, {}});
   }
-  const std::vector<core::TrialResult> runs = core::Runner{opts.jobs, opts.shards}.run_trials(configs);
+  std::vector<core::TrialResult> runs;
+  if (opts.cache) {
+    core::campaign::RunCache cache{opts.cache_dir};
+    runs = core::campaign::run_cached_trials(cache, specs, opts.jobs, opts.shards);
+  } else {
+    runs = core::Runner{opts.jobs, opts.shards}.run_trials(specs);
+  }
 
   std::ostream& os = opts.out();
   core::report::print_header({os, 4, ""}, "Ablation — TDMA slots-per-frame sweep (trial 1 setup)");

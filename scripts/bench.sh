@@ -18,6 +18,9 @@
 #   bench.sh --campaign   content-addressed run-cache sweep
 #                         (campaign_sweep full): cold vs warm vs
 #                         partially-warm timings over a 64-cell grid
+#   bench.sh --beacon     V2X intersection beaconing sweep
+#                         (intersection_beacon): EDCA beacon rate x
+#                         vehicle density under corner NLOS blockage
 #   bench.sh --prune N    no benches: trim BENCH_sweep.json to the newest
 #                         N entries per kind, then exit
 #
@@ -26,7 +29,8 @@
 # harness stays deterministic), so the perf trajectory across PRs stays
 # visible in one file. Entries are distinguished by their "kind" field
 # ("eblnet.perf", "eblnet.perf_scale", "eblnet.perf_shard",
-# "eblnet.resilience", "eblnet.traffic", "eblnet.campaign"). A legacy
+# "eblnet.resilience", "eblnet.traffic", "eblnet.campaign",
+# "eblnet.beacon"). A legacy
 # single-object BENCH_sweep.json is wrapped into a one-entry array on
 # first contact. --scale appends two entries: the flat-vs-grid sweep and
 # the sharded-engine sweep. After each append the newest entry's median
@@ -50,6 +54,7 @@ MODE=sweep
 [ "${1:-}" = "--resilience" ] && MODE=resilience
 [ "${1:-}" = "--traffic" ] && MODE=traffic
 [ "${1:-}" = "--campaign" ] && MODE=campaign
+[ "${1:-}" = "--beacon" ] && MODE=beacon
 
 # --prune N: history maintenance only — cap each kind's entry list at the
 # newest N and exit without building or running anything.
@@ -198,6 +203,10 @@ elif [ "$MODE" = "campaign" ]; then
   echo "== campaign_sweep full (content-addressed run cache, 64-cell grid) =="
   "$BUILD"/bench/campaign_sweep full --json "$RUN"
   append_run "$RUN"
+elif [ "$MODE" = "beacon" ]; then
+  echo "== intersection_beacon (EDCA beacon rate x density under corner NLOS) =="
+  "$BUILD"/bench/intersection_beacon --json "$RUN"
+  append_run "$RUN"
 else
   echo "== perf_sweep (serial vs parallel confidence sweep) =="
   "$BUILD"/bench/perf_sweep --json "$RUN"
@@ -205,7 +214,8 @@ else
 fi
 
 echo
-if [ "$MODE" = "resilience" ] || [ "$MODE" = "traffic" ] || [ "$MODE" = "campaign" ]; then
+if [ "$MODE" = "resilience" ] || [ "$MODE" = "traffic" ] || [ "$MODE" = "campaign" ] ||
+    [ "$MODE" = "beacon" ]; then
   : # no micro-benchmark counterpart; the sweep above is the whole story
 elif [ "$MODE" = "scale" ]; then
   echo "== micro_components (channel broadcast hot path) =="

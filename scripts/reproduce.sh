@@ -17,22 +17,25 @@ ctest --test-dir "$BUILD" --output-on-failure
 # fault-injection suite (label "fault"), the grid/batched-cull
 # equivalence suite (label "perf"), the car-following dynamics suite
 # (label "mobility"), the space-sharded engine suite (label "shard"),
-# and the run-cache / campaign suite (label "campaign") run as explicit
-# passes: crash / flush / mid-flight-detach paths, the SoA swap-remove
-# bookkeeping, the spawn/despawn vehicle lifecycle with its closed-loop
-# callbacks, the seam-mailbox handoff, and the cache's parse/evict/
-# reconstruct path over real (including deliberately corrupted) files
-# are the likeliest places for lifetime bugs, so their sanitizer runs
-# must not be skippable by label filters.
+# the run-cache / campaign suite (label "campaign"), and the V2X
+# beaconing suite (label "v2x") run as explicit passes: crash / flush /
+# mid-flight-detach paths, the SoA swap-remove bookkeeping, the
+# spawn/despawn vehicle lifecycle with its closed-loop callbacks, the
+# seam-mailbox handoff, the cache's parse/evict/reconstruct path over
+# real (including deliberately corrupted) files, and the EDCA internal
+# queues / beacon callback / blockage-wrapper indirection are the
+# likeliest places for lifetime bugs, so their sanitizer runs must not
+# be skippable by label filters.
 SAN_BUILD=build-asan
 cmake -B "$SAN_BUILD" -G Ninja -DEBLNET_SANITIZE=ON
 cmake --build "$SAN_BUILD"
-ctest --test-dir "$SAN_BUILD" -LE "fault|perf|mobility|shard|campaign" --output-on-failure
+ctest --test-dir "$SAN_BUILD" -LE "fault|perf|mobility|shard|campaign|v2x" --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L fault --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L perf --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L mobility --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L shard --output-on-failure
 ctest --test-dir "$SAN_BUILD" -L campaign --output-on-failure
+ctest --test-dir "$SAN_BUILD" -L v2x --output-on-failure
 
 # The concurrent suites again under ThreadSanitizer: the sharded engine's
 # promise/bound protocol and the broadcast pipeline's thread-pool fan-out

@@ -129,6 +129,15 @@ std::string canonical_scenario_text(const ScenarioConfig& cfg, std::size_t shard
     c.real("reactive.min_gap_m", cfg.reactive.min_gap_m);
   }
 
+  // --- CAM/BSM beaconing ---
+  c.boolean("beacon.enabled", cfg.beacon.enabled);
+  if (cfg.beacon.enabled) {
+    c.time_ns("beacon.interval_ns", cfg.beacon.interval);
+    c.u64("beacon.payload_bytes", static_cast<std::uint64_t>(cfg.beacon.payload_bytes));
+    c.u64("beacon.priority", cfg.beacon.priority);
+    c.u64("beacon.port", cfg.beacon.port);
+  }
+
   // --- the chosen MAC's parameters only ---
   if (cfg.mac == MacType::k80211) {
     const auto& m = cfg.mac80211;
@@ -148,6 +157,24 @@ std::string canonical_scenario_text(const ScenarioConfig& cfg, std::size_t shard
     c.u64("mac80211.rts_bytes", static_cast<std::uint64_t>(m.rts_bytes));
     c.u64("mac80211.cts_bytes", static_cast<std::uint64_t>(m.cts_bytes));
     c.time_ns("mac80211.timeout_slack_ns", m.timeout_slack);
+  } else if (cfg.mac == MacType::kEdca) {
+    const auto& e = cfg.edca;
+    c.real("edca.data_rate_bps", e.data_rate_bps);
+    c.real("edca.basic_rate_bps", e.basic_rate_bps);
+    c.time_ns("edca.slot_time_ns", e.slot_time);
+    c.time_ns("edca.sifs_ns", e.sifs);
+    c.time_ns("edca.plcp_overhead_ns", e.plcp_overhead);
+    c.u64("edca.data_header_bytes", static_cast<std::uint64_t>(e.data_header_bytes));
+    c.u64("edca.ack_bytes", static_cast<std::uint64_t>(e.ack_bytes));
+    c.u64("edca.short_retry_limit", e.short_retry_limit);
+    c.time_ns("edca.timeout_slack_ns", e.timeout_slack);
+    c.u64("edca.ac_queue_capacity", static_cast<std::uint64_t>(e.ac_queue_capacity));
+    for (std::size_t i = 0; i < mac::kAccessCategoryCount; ++i) {
+      c.str("edca.ac", mac::to_string(static_cast<mac::AccessCategory>(i)));
+      c.u64("edca.ac.aifsn", e.ac[i].aifsn);
+      c.u64("edca.ac.cw_min", e.ac[i].cw_min);
+      c.u64("edca.ac.cw_max", e.ac[i].cw_max);
+    }
   } else {
     const auto& t = cfg.tdma;
     c.real("tdma.data_rate_bps", t.data_rate_bps);
@@ -164,7 +191,15 @@ std::string canonical_scenario_text(const ScenarioConfig& cfg, std::size_t shard
   c.real("phy.cs_threshold_w", cfg.phy.cs_threshold_w);
   c.real("phy.capture_ratio", cfg.phy.capture_ratio);
   c.str("propagation", to_string(cfg.propagation));
-  if (cfg.propagation == PropagationType::kNakagami) c.real("nakagami_m", cfg.nakagami_m);
+  if (cfg.propagation == PropagationType::kNakagami) {
+    c.real("nakagami_m", cfg.nakagami_m);
+    c.boolean("nakagami_node_streams", cfg.nakagami_node_streams);
+  }
+  c.boolean("blockage.enabled", cfg.blockage.enabled);
+  if (cfg.blockage.enabled) {
+    c.real("blockage.half_width_m", cfg.blockage.half_width_m);
+    c.real("blockage.corner_loss_db", cfg.blockage.corner_loss_db);
+  }
   c.u64("channel.grid_min_phys", static_cast<std::uint64_t>(cfg.channel.grid_min_phys));
   c.real("channel.grid_max_speed_mps", cfg.channel.grid_max_speed_mps);
   c.time_ns("channel.grid_rebucket_period_ns", cfg.channel.grid_rebucket_period);

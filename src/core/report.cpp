@@ -149,6 +149,40 @@ void write_config(JsonWriter& w, const ScenarioConfig& cfg) {
   w.field("decel_mps2", cfg.reactive.decel_mps2);
   w.field("reaction_s", cfg.reactive.reaction.to_seconds());
   w.end_object();
+  w.key("beacon");
+  w.begin_object();
+  w.field("enabled", cfg.beacon.enabled);
+  w.field("interval_s", cfg.beacon.interval.to_seconds());
+  w.field("payload_bytes", static_cast<std::uint64_t>(cfg.beacon.payload_bytes));
+  w.field("priority", static_cast<std::uint64_t>(cfg.beacon.priority));
+  w.end_object();
+  w.key("blockage");
+  w.begin_object();
+  w.field("enabled", cfg.blockage.enabled);
+  w.field("half_width_m", cfg.blockage.half_width_m);
+  w.field("corner_loss_db", cfg.blockage.corner_loss_db);
+  w.end_object();
+  w.field("nakagami_node_streams", cfg.nakagami_node_streams);
+  if (cfg.mac == MacType::kEdca) {
+    // The chosen MAC's contention table only (like the scenario key).
+    w.key("edca");
+    w.begin_object();
+    w.field("data_rate_bps", cfg.edca.data_rate_bps);
+    w.field("slot_time_us", cfg.edca.slot_time.to_seconds() * 1e6);
+    w.field("sifs_us", cfg.edca.sifs.to_seconds() * 1e6);
+    w.key("ac");
+    w.begin_array();
+    for (std::size_t i = 0; i < mac::kAccessCategoryCount; ++i) {
+      w.begin_object();
+      w.field("name", mac::to_string(static_cast<mac::AccessCategory>(i)));
+      w.field("aifsn", static_cast<std::uint64_t>(cfg.edca.ac[i].aifsn));
+      w.field("cw_min", static_cast<std::uint64_t>(cfg.edca.ac[i].cw_min));
+      w.field("cw_max", static_cast<std::uint64_t>(cfg.edca.ac[i].cw_max));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.key("faults");
   w.begin_object();
   w.field("enabled", !cfg.faults.empty());

@@ -62,7 +62,12 @@ void print_header(const ReportContext& ctx, const std::string& title);
 /// v4: the metrics block gained the "campaign" run-cache counter layer
 /// and "eblnet.campaign" (cached sweep orchestration) joined the
 /// manifest kinds.
-inline constexpr int kManifestSchemaVersion = 4;
+/// v5: config gained gated "beacon" (CAM/BSM beaconing), "blockage"
+/// (intersection NLOS) and "edca" (802.11p EDCA MAC) blocks plus the
+/// "nakagami_node_streams" flag; the metrics block gained the beacon
+/// app counters/gauges (CBR, BRR, inter-reception time) and
+/// "eblnet.beacon" joined the manifest kinds.
+inline constexpr int kManifestSchemaVersion = 5;
 
 /// Write the versioned JSON run manifest for one finished trial:
 /// config, seed, per-layer metric counters, delay/throughput summaries

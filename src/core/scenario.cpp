@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "app/beacon.hpp"
+#include "phy/intersection_blockage.hpp"
 #include "queue/drop_tail.hpp"
 #include "routing/static_routing.hpp"
 
@@ -11,6 +13,7 @@ const char* to_string(MacType m) noexcept {
   switch (m) {
     case MacType::kTdma: return "TDMA";
     case MacType::k80211: return "802.11";
+    case MacType::kEdca: return "EDCA";
   }
   return "?";
 }
@@ -50,6 +53,12 @@ CollisionMonitor& EblScenario::collisions() {
   return *collision_monitor_;
 }
 
+app::Beacon& EblScenario::beacon(std::size_t i) {
+  if (!config_.beacon.enabled)
+    throw std::logic_error{"EblScenario: beaconing is not enabled"};
+  return *beacons_.at(i);
+}
+
 EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, env_{config_.seed} {
   if (config_.platoon_size < 2)
     throw std::invalid_argument{"EblScenario: platoons need at least two vehicles"};
@@ -57,9 +66,18 @@ EblScenario::EblScenario(ScenarioConfig config) : config_{std::move(config)}, en
   if (config_.node_rng_streams) env_.enable_node_rng_streams();
   env_.metrics().set_enabled(config_.enable_metrics);
   if (config_.propagation == PropagationType::kNakagami) {
-    propagation_ = std::make_shared<phy::NakagamiFading>(config_.nakagami_m, env_.rng());
+    auto nakagami = std::make_shared<phy::NakagamiFading>(config_.nakagami_m, env_.rng());
+    if (config_.nakagami_node_streams)
+      nakagami->enable_pair_streams(sim::mix_seed(config_.seed, phy::kPairFadeSeedTag));
+    propagation_ = std::move(nakagami);
   } else {
     propagation_ = std::make_shared<phy::TwoRayGround>();
+  }
+  if (config_.blockage.enabled) {
+    phy::IntersectionBlockageParams bp;
+    bp.half_width_m = config_.blockage.half_width_m;
+    bp.corner_loss_db = config_.blockage.corner_loss_db;
+    propagation_ = std::make_shared<phy::IntersectionBlockage>(propagation_, bp);
   }
   channel_ = std::make_unique<phy::Channel>(env_, propagation_, config_.channel);
   build_mobility();
@@ -146,6 +164,8 @@ void EblScenario::build_nodes() {
     if (config_.mac == MacType::kTdma) {
       mac_layer = std::make_unique<mac::MacTdma>(env_, id, *phy, std::move(ifq), tdma,
                                                  static_cast<unsigned>(i));
+    } else if (config_.mac == MacType::kEdca) {
+      mac_layer = std::make_unique<mac::Edca>(env_, id, *phy, std::move(ifq), config_.edca);
     } else {
       mac_layer = std::make_unique<mac::Mac80211>(env_, id, *phy, std::move(ifq),
                                                   config_.mac80211);
@@ -198,6 +218,20 @@ void EblScenario::build_traffic() {
       env_, [this] { return ebl2_->total_sink_bytes(); }, config_.throughput_sample_interval);
   tput1_->start();
   tput2_->start();
+
+  if (config_.beacon.enabled) {
+    app::BeaconParams bp;
+    bp.interval = config_.beacon.interval;
+    bp.payload_bytes = config_.beacon.payload_bytes;
+    bp.priority = config_.beacon.priority;
+    bp.port = config_.beacon.port;
+    bp.phase_seed = config_.seed;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      beacons_.push_back(
+          std::make_unique<app::Beacon>(env_, *nodes_[i], phys_[i].get(), bp));
+      beacons_.back()->start();
+    }
+  }
 
   if (config_.reactive.enabled) {
     // EblLink i feeds follower i+1's sink, so reactor i brakes the

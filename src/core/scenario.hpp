@@ -6,6 +6,7 @@
 #include "core/ebl_app.hpp"
 #include "core/reactor.hpp"
 #include "mac/arp.hpp"
+#include "mac/edca.hpp"
 #include "mac/mac_80211.hpp"
 #include "mac/mac_tdma.hpp"
 #include "mobility/platoon.hpp"
@@ -19,9 +20,13 @@
 #include "trace/throughput_monitor.hpp"
 #include "trace/trace_manager.hpp"
 
+namespace eblnet::app {
+class Beacon;
+}
+
 namespace eblnet::core {
 
-enum class MacType : std::uint8_t { kTdma, k80211 };
+enum class MacType : std::uint8_t { kTdma, k80211, kEdca };
 
 /// Network-layer choice: AODV is the paper's fixed parameter; DSDV and
 /// pre-installed static routes are comparison baselines.
@@ -49,6 +54,26 @@ struct ReactiveBrakingConfig {
   double decel_mps2{6.0};
   sim::Time reaction{sim::Time::milliseconds(100)};
   double min_gap_m{0.5};  ///< CollisionMonitor near-collision threshold
+};
+
+/// Periodic CAM/BSM broadcast beaconing on every node (app::Beacon).
+/// Disabled by default: a scenario without beacons is bit-identical to a
+/// build that predates the subsystem.
+struct BeaconConfig {
+  bool enabled{false};
+  sim::Time interval{sim::Time::milliseconds(100)};  ///< 10 Hz
+  std::size_t payload_bytes{200};
+  std::uint8_t priority{5};  ///< 802.1D: 5 -> AC_VI under EDCA
+  net::Port port{5005};
+};
+
+/// Corner-building NLOS attenuation at the intersection
+/// (phy::IntersectionBlockage wrapped around the configured propagation
+/// model, centred on the origin — where the platoons meet).
+struct BlockageConfig {
+  bool enabled{false};
+  double half_width_m{10.0};   ///< half-width of each road corridor
+  double corner_loss_db{10.0}; ///< extra loss on around-the-corner paths
 };
 
 /// Full configuration of the paper's two-platoon intersection scenario.
@@ -102,8 +127,12 @@ struct ScenarioConfig {
   /// Closed-loop follower braking (off: the scripted all-stop).
   ReactiveBrakingConfig reactive{};
 
+  /// CAM/BSM beaconing on every node (off: no beacon traffic exists).
+  BeaconConfig beacon{};
+
   // --- stack parameters ---
   mac::Mac80211Params mac80211{};
+  mac::EdcaParams edca{};
   mac::TdmaParams tdma{};
   phy::PhyParams phy{};
   /// Radio channel model. The paper's trials use two-ray ground;
@@ -111,6 +140,15 @@ struct ScenarioConfig {
   /// drawn from the scenario's seeded Rng) on top of it.
   PropagationType propagation{PropagationType::kTwoRay};
   double nakagami_m{3.0};
+  /// Keyed per-pair Nakagami fade streams: each (tx, rx, transmit-time)
+  /// evaluation reseeds a scratch Rng from a pure hash of the scenario
+  /// seed, so fades are independent of evaluation order — the property
+  /// that lets the sharded engine run Nakagami scenarios bit-identically
+  /// to the serial oracle. Off by default: the shared-stream draws are
+  /// the historical behaviour and stay bit-identical.
+  bool nakagami_node_streams{false};
+  /// Corner-building NLOS wrapping (off: pure line-of-sight model).
+  BlockageConfig blockage{};
   /// Broadcast-delivery tuning: spatial-grid threshold and re-bucketing
   /// bounds (the defaults keep the paper's 6-vehicle trials on the flat
   /// loop and switch large populations to the grid).
@@ -187,6 +225,9 @@ class EblScenario {
   /// The platoon 1 near-collision watcher; throws unless reactive mode.
   CollisionMonitor& collisions();
 
+  /// Node `i`'s CAM/BSM beacon app; throws unless config.beacon.enabled.
+  app::Beacon& beacon(std::size_t i);
+
   /// Node ids, platoon-relative.
   static constexpr net::NodeId kP1Lead = 0, kP1Middle = 1, kP1Trailing = 2;
   static constexpr net::NodeId kP2Lead = 3, kP2Middle = 4, kP2Trailing = 5;
@@ -212,6 +253,7 @@ class EblScenario {
   std::unique_ptr<trace::ThroughputMonitor> tput2_;
   std::vector<std::unique_ptr<EblBrakeReactor>> reactors_;  ///< reactive mode only
   std::unique_ptr<CollisionMonitor> collision_monitor_;     ///< reactive mode only
+  std::vector<std::unique_ptr<app::Beacon>> beacons_;       ///< beacon mode only
 };
 
 }  // namespace eblnet::core

@@ -104,6 +104,52 @@ class ScenarioBuilder {
     config_.channel = p;
     return *this;
   }
+  /// Channel model selection; `m` is the Nakagami shape (ignored by
+  /// two-ray).
+  ScenarioBuilder& propagation(PropagationType p, double m = 3.0) {
+    config_.propagation = p;
+    config_.nakagami_m = m;
+    return *this;
+  }
+  /// Keyed per-pair Nakagami fade streams — fades become a pure function
+  /// of (seed, tx, rx, transmit time), which is what lets with_shards(k)
+  /// run Nakagami scenarios bit-identically to the serial oracle.
+  ScenarioBuilder& nakagami_node_streams(bool on = true) {
+    config_.nakagami_node_streams = on;
+    return *this;
+  }
+  /// Wrap the propagation model in corner-building NLOS blockage centred
+  /// on the intersection (phy::IntersectionBlockage).
+  ScenarioBuilder& with_intersection_blockage(double half_width_m = 10.0,
+                                              double corner_loss_db = 10.0) {
+    config_.blockage.enabled = true;
+    config_.blockage.half_width_m = half_width_m;
+    config_.blockage.corner_loss_db = corner_loss_db;
+    return *this;
+  }
+
+  // --- V2X beaconing ---
+  /// Select the 802.11p EDCA MAC (four access categories, broadcast
+  /// frames never ACKed/retried).
+  ScenarioBuilder& with_edca(const mac::EdcaParams& params = {}) {
+    config_.mac = MacType::kEdca;
+    config_.edca = params;
+    return *this;
+  }
+  /// Start a periodic CAM/BSM broadcast beacon app on every node.
+  ScenarioBuilder& with_beacons(sim::Time interval = sim::Time::milliseconds(100),
+                                std::size_t payload_bytes = 200, std::uint8_t priority = 5) {
+    config_.beacon.enabled = true;
+    config_.beacon.interval = interval;
+    config_.beacon.payload_bytes = payload_bytes;
+    config_.beacon.priority = priority;
+    return *this;
+  }
+  ScenarioBuilder& with_beacons(const BeaconConfig& cfg) {
+    config_.beacon = cfg;
+    config_.beacon.enabled = true;
+    return *this;
+  }
 
   // --- closed-loop driving ---
   /// Close the loop: platoon 1's followers brake only when their first

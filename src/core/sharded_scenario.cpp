@@ -7,8 +7,10 @@
 
 #include "app/traffic.hpp"
 #include "core/flood.hpp"
+#include "mac/edca.hpp"
 #include "mac/mac_80211.hpp"
 #include "mac/mac_tdma.hpp"
+#include "phy/intersection_blockage.hpp"
 #include "mobility/platoon.hpp"
 #include "queue/drop_tail.hpp"
 #include "queue/red.hpp"
@@ -202,9 +204,13 @@ ShardedEblScenario::ShardedEblScenario(ScenarioConfig config, std::size_t shards
   if (config_.reactive.enabled)
     throw std::invalid_argument{
         "ShardedEblScenario: reactive braking is not supported with shards > 1"};
-  if (config_.propagation != PropagationType::kTwoRay)
+  if (config_.propagation != PropagationType::kTwoRay &&
+      !(config_.propagation == PropagationType::kNakagami && config_.nakagami_node_streams))
     throw std::invalid_argument{
         "ShardedEblScenario: only deterministic (two-ray) propagation shards"};
+  if (config_.beacon.enabled)
+    throw std::invalid_argument{
+        "ShardedEblScenario: beaconing is not supported with shards > 1"};
   config_.node_rng_streams = true;  // interleaving-independent per-node draws
   total_ = 2 * config_.platoon_size;
 
@@ -260,7 +266,23 @@ void ShardedEblScenario::build_shard(std::size_t s) {
   sh.env.enable_node_rng_streams();
   sh.env.set_uid_stride(shards_.size(), s);
   sh.env.metrics().set_enabled(config_.enable_metrics);
-  sh.propagation = std::make_shared<phy::TwoRayGround>();
+  if (config_.propagation == PropagationType::kNakagami) {
+    // Admitted only with nakagami_node_streams: keyed per-pair fades are a
+    // pure function of (seed, tx, rx, transmit time), so every shard
+    // reproduces exactly the fades the serial oracle would draw. The
+    // shard-local Rng reference is never consumed in keyed mode.
+    auto nakagami = std::make_shared<phy::NakagamiFading>(config_.nakagami_m, sh.env.rng());
+    nakagami->enable_pair_streams(sim::mix_seed(config_.seed, phy::kPairFadeSeedTag));
+    sh.propagation = std::move(nakagami);
+  } else {
+    sh.propagation = std::make_shared<phy::TwoRayGround>();
+  }
+  if (config_.blockage.enabled) {
+    phy::IntersectionBlockageParams bp;
+    bp.half_width_m = config_.blockage.half_width_m;
+    bp.corner_loss_db = config_.blockage.corner_loss_db;
+    sh.propagation = std::make_shared<phy::IntersectionBlockage>(sh.propagation, bp);
+  }
   sh.channel = std::make_unique<phy::Channel>(sh.env, sh.propagation, config_.channel);
 
   // --- mobility replicas (identical to EblScenario::build_mobility) ---
@@ -308,6 +330,8 @@ void ShardedEblScenario::build_shard(std::size_t s) {
     if (config_.mac == MacType::kTdma) {
       mac_layer = std::make_unique<mac::MacTdma>(sh.env, id, *phy, std::move(ifq), tdma,
                                                  static_cast<unsigned>(i));
+    } else if (config_.mac == MacType::kEdca) {
+      mac_layer = std::make_unique<mac::Edca>(sh.env, id, *phy, std::move(ifq), config_.edca);
     } else {
       mac_layer =
           std::make_unique<mac::Mac80211>(sh.env, id, *phy, std::move(ifq), config_.mac80211);

@@ -21,7 +21,9 @@ class MacBase : public net::MacLayer {
   void set_rx_callback(RxCallback cb) final { rx_cb_ = std::move(cb); }
   void set_tx_fail_callback(TxFailCallback cb) final { tx_fail_cb_ = std::move(cb); }
 
-  std::vector<net::Packet> flush_next_hop(net::NodeId next_hop) final {
+  /// Overridable (not final): the EDCA MAC also sweeps its internal
+  /// per-access-category queues, which live outside `ifq_`.
+  std::vector<net::Packet> flush_next_hop(net::NodeId next_hop) override {
     return ifq_->remove_by_next_hop(next_hop);
   }
 

@@ -21,6 +21,7 @@ const char* to_string(PacketType t) noexcept {
     case PacketType::kMacRts: return "MAC_RTS";
     case PacketType::kMacCts: return "MAC_CTS";
     case PacketType::kNoise: return "NOISE";
+    case PacketType::kBeacon: return "BEACON";
   }
   return "?";
 }

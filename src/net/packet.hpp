@@ -31,7 +31,8 @@ enum class PacketType : std::uint8_t {
   kMacAck,
   kMacRts,
   kMacCts,
-  kNoise,  ///< jammer emissions: pure channel energy, never delivered up
+  kNoise,   ///< jammer emissions: pure channel energy, never delivered up
+  kBeacon,  ///< periodic CAM/BSM broadcast (single-hop, never routed)
 };
 
 const char* to_string(PacketType t) noexcept;
@@ -159,6 +160,10 @@ class Packet {
 
   /// Filled by the receiving MAC: who physically handed us this packet.
   NodeId prev_hop{kBroadcastAddress};
+
+  /// 802.1D user priority (0-7). Only the EDCA MAC reads it, to map the
+  /// frame onto an access category; the DCF and TDMA MACs ignore it.
+  std::uint8_t priority{0};
 
   std::optional<MacHeader> mac;
   std::optional<Ipv4Header> ip;

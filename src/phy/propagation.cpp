@@ -78,12 +78,22 @@ NakagamiFading::NakagamiFading(double m, sim::Rng& rng, double frequency_hz, dou
   if (fade_margin < 1.0) throw std::invalid_argument{"NakagamiFading: fade margin must be >= 1"};
 }
 
+void NakagamiFading::select_pair_stream(std::uint64_t tx_node, std::uint64_t rx_node,
+                                        sim::Time now) const {
+  // Chained splitmix avalanche over the full key; reseed also clears the
+  // polar-method spare, so the draw sequence is a pure function of the key.
+  const std::uint64_t k1 = sim::mix_seed(pair_seed_base_, tx_node);
+  const std::uint64_t k2 = sim::mix_seed(k1, rx_node);
+  scratch_rng_.reseed(sim::mix_seed(k2, static_cast<std::uint64_t>(now.ns())));
+}
+
 double NakagamiFading::gamma_sample() const {
+  sim::Rng& rng = keyed_ ? scratch_rng_ : rng_;
   // Marsaglia-Tsang for shape m >= 1; shape-boost trick below 1.
   double shape = m_;
   double boost = 1.0;
   if (shape < 1.0) {
-    boost = std::pow(rng_.uniform(), 1.0 / shape);
+    boost = std::pow(rng.uniform(), 1.0 / shape);
     shape += 1.0;
   }
   const double d = shape - 1.0 / 3.0;
@@ -91,11 +101,11 @@ double NakagamiFading::gamma_sample() const {
   for (;;) {
     double x, v;
     do {
-      x = rng_.normal();
+      x = rng.normal();
       v = 1.0 + c * x;
     } while (v <= 0.0);
     v = v * v * v;
-    const double u = rng_.uniform();
+    const double u = rng.uniform();
     if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
     if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return boost * d * v;
   }

@@ -1,12 +1,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "mobility/vec2.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace eblnet::phy {
+
+/// Domain tag mixed with the scenario seed into the base key of the keyed
+/// per-pair fade streams (NakagamiFading::enable_pair_streams). Serial and
+/// sharded builds must derive the base the same way to stay bit-identical.
+inline constexpr std::uint64_t kPairFadeSeedTag = 0x5F10'77D0'0004ULL;
 
 /// Radio propagation model: received signal power as a function of
 /// transmit power and distance. Implementations mirror NS-2's models.
@@ -41,6 +49,34 @@ class PropagationModel {
                                        double* out_w, std::size_t n) const {
     for (std::size_t i = 0; i < n; ++i) out_w[i] = envelope_rx_power(tx_power_w, distances_m[i]);
   }
+
+  /// True when rx_power depends on the endpoints' positions, not just
+  /// their distance (obstacle/blockage geometry). The channel then routes
+  /// every pair evaluation through rx_power_between instead of rx_power.
+  virtual bool position_aware() const noexcept { return false; }
+
+  /// Position-aware received power. `distance_m` is always
+  /// dist(from, to), passed so implementations need not recompute it;
+  /// the default ignores the endpoints and delegates to rx_power.
+  virtual double rx_power_between(double tx_power_w, mobility::Vec2 /*from*/,
+                                  mobility::Vec2 /*to*/, double distance_m) const {
+    return rx_power(tx_power_w, distance_m);
+  }
+
+  /// True when the model's random draws come from per-pair keyed streams
+  /// (select_pair_stream) rather than one shared stream. Keyed draws are
+  /// a pure function of (key, pair, transmit time), so a sharded run that
+  /// evaluates only its owned pairs — or a grid path that culls a
+  /// different candidate set than the flat loop — still produces the
+  /// identical fade for every pair it does evaluate.
+  virtual bool pair_fade_streams() const noexcept { return false; }
+
+  /// Rekey the stream feeding the next rx_power evaluation(s): called by
+  /// the channel once per (transmitter, receiver) pair immediately before
+  /// that pair's rx_power, with `now` the transmit time. No-op for models
+  /// without keyed streams.
+  virtual void select_pair_stream(std::uint64_t /*tx_node*/, std::uint64_t /*rx_node*/,
+                                  sim::Time /*now*/) const {}
 
   /// Distance at which the envelope drops to `threshold_w` (bisection over
   /// the monotone envelope); used by tests, range planning and the spatial
@@ -118,6 +154,19 @@ class NakagamiFading : public PropagationModel {
 
   double m() const noexcept { return m_; }
 
+  /// Switch fade draws to stateless keyed streams: each pair evaluation
+  /// reseeds a scratch generator from (base_seed, tx node, rx node,
+  /// transmit time), making every fade independent of evaluation order.
+  /// This is what lets the sharded engine (which only evaluates owned
+  /// pairs) reproduce the serial run's fades bit-for-bit.
+  void enable_pair_streams(std::uint64_t base_seed) noexcept {
+    keyed_ = true;
+    pair_seed_base_ = base_seed;
+  }
+  bool pair_fade_streams() const noexcept override { return keyed_; }
+  void select_pair_stream(std::uint64_t tx_node, std::uint64_t rx_node,
+                          sim::Time now) const override;
+
  private:
   double gamma_sample() const;
 
@@ -125,6 +174,9 @@ class NakagamiFading : public PropagationModel {
   double m_;
   sim::Rng& rng_;
   double fade_margin_;
+  bool keyed_{false};
+  std::uint64_t pair_seed_base_{0};
+  mutable sim::Rng scratch_rng_{1};
 };
 
 /// Log-distance path loss with optional log-normal shadowing (deterministic

@@ -30,6 +30,8 @@ void WirelessPhy::set_down(bool down) {
   down_ = down;
   if (down) {
     // Quiet teardown: no COL/TXB accounting — the radio lost power.
+    // Close out any open busy interval first so busy_time() stays exact.
+    if (carrier_was_busy_) busy_accum_ = busy_accum_ + (env_.now() - busy_edge_);
     rx_active_ = false;
     rx_end_timer_.cancel();
     rx_packet_.reset();
@@ -156,6 +158,11 @@ void WirelessPhy::update_carrier() {
       carrier_timer_.schedule_at(until);
   }
   if (busy != carrier_was_busy_) {
+    if (busy) {
+      busy_edge_ = env_.now();
+    } else {
+      busy_accum_ = busy_accum_ + (env_.now() - busy_edge_);
+    }
     carrier_was_busy_ = busy;
     if (busy) env_.metrics().add(owner_, sim::Counter::kPhyCsBusy);
     if (carrier_cb_) carrier_cb_(busy);
@@ -325,12 +332,26 @@ void Channel::collect_receivers(mobility::Vec2 from, double tx_power_w,
                                 net::NodeId metrics_owner) {
   scratch_.clear();
 
+  // One virtual query per broadcast (not per pair) keeps the default
+  // models' hot path untouched: distance-only models skip both branches.
+  const bool position_aware = propagation_->position_aware();
+  const bool pair_streams = propagation_->pair_fade_streams();
+  const sim::Time now = env_.now();
+
+  const auto pair_power = [&](const WirelessPhy& rx, double d,
+                              mobility::Vec2 to) {
+    if (pair_streams) propagation_->select_pair_stream(metrics_owner, rx.owner(), now);
+    return position_aware ? propagation_->rx_power_between(tx_power_w, from, to, d)
+                          : propagation_->rx_power(tx_power_w, d);
+  };
+
   const auto consider = [&](WirelessPhy* rx) {
     if (rx == exclude) return;
     ++pair_evaluations_;
     if (rx->channel_id() != channel_id) return;  // different frequency
-    const double d = mobility::distance(from, rx->position());
-    const double power = propagation_->rx_power(tx_power_w, d);
+    const mobility::Vec2 to = rx->position();
+    const double d = mobility::distance(from, to);
+    const double power = pair_power(*rx, d, to);
     if (power < rx->params().cs_threshold_w) return;  // invisible
     scratch_.push_back({rx, rx->chan_slot_, generations_[rx->chan_slot_], power,
                         sim::Time::seconds(d / kSpeedOfLight)});
@@ -343,8 +364,9 @@ void Channel::collect_receivers(mobility::Vec2 from, double tx_power_w,
     ++pair_evaluations_;
     WirelessPhy* rx = c.phy;
     if (rx->channel_id() != channel_id) return;  // different frequency
-    const double d = mobility::distance(from, rx->position());
-    const double power = propagation_->rx_power(tx_power_w, d);
+    const mobility::Vec2 to = rx->position();
+    const double d = mobility::distance(from, to);
+    const double power = pair_power(*rx, d, to);
     if (power < c.cs_threshold_w) return;  // invisible
     scratch_.push_back(
         {rx, c.slot, generations_[c.slot], power, sim::Time::seconds(d / kSpeedOfLight)});

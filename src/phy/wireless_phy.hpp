@@ -101,6 +101,15 @@ class WirelessPhy {
   std::uint64_t rx_ok_count() const noexcept { return rx_ok_count_; }
   std::uint64_t rx_collision_count() const noexcept { return rx_collision_count_; }
 
+  /// Cumulative time the carrier has been sensed busy (own transmissions
+  /// included) — the numerator of the channel busy ratio (CBR) that
+  /// beaconing congestion studies report. Maintained on the carrier
+  /// transitions update_carrier() already detects, so it costs no extra
+  /// events and leaves event/RNG sequences untouched.
+  sim::Time busy_time() const noexcept {
+    return carrier_was_busy_ ? busy_accum_ + (env_.now() - busy_edge_) : busy_accum_;
+  }
+
  private:
   friend class Channel;
   friend class SpatialGrid;
@@ -145,6 +154,8 @@ class WirelessPhy {
   sim::Timer carrier_timer_;
 
   bool carrier_was_busy_{false};
+  sim::Time busy_accum_{};  ///< completed busy intervals
+  sim::Time busy_edge_{};   ///< start of the current busy interval
 
   RxEndCallback rx_end_cb_;
   CarrierCallback carrier_cb_;

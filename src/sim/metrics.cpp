@@ -31,6 +31,7 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
     {"mac_cts_sent", "mac"},
     {"mac_ack_timeouts", "mac"},
     {"mac_duplicates", "mac"},
+    {"mac_internal_collisions", "mac"},
 
     {"tdma_slots_used", "mac"},
     {"tdma_slots_idle", "mac"},
@@ -62,6 +63,8 @@ constexpr CounterInfo kCounterInfo[kCounterCount] = {
 
     {"app_messages_generated", "app"},
     {"app_messages_delivered", "app"},
+    {"app_beacon_sent", "app"},
+    {"app_beacon_received", "app"},
 
     {"fault_crashes", "fault"},
     {"fault_reboots", "fault"},
@@ -82,6 +85,8 @@ constexpr const char* kGaugeNames[kGaugeCount] = {
     "aodv_route_acquisition_s",
     "tcp_cwnd",
     "aodv_reroute_after_failure_s",
+    "beacon_inter_rx_s",
+    "channel_busy_ratio",
 };
 
 }  // namespace

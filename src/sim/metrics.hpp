@@ -34,6 +34,7 @@ enum class Counter : std::uint16_t {
   kMacCtsSent,
   kMacAckTimeouts,
   kMacDuplicates,
+  kMacInternalCollisions, ///< EDCA internal contention: lower AC lost to a higher one
 
   // --- MAC, TDMA ---
   kTdmaSlotsUsed,
@@ -70,6 +71,8 @@ enum class Counter : std::uint16_t {
   // --- EBL application ---
   kAppMessagesGenerated, ///< CBR messages offered to the TCP sender
   kAppMessagesDelivered, ///< new (non-duplicate) data packets at the sink
+  kAppBeaconSent,        ///< CAM/BSM broadcast beacons offered to the MAC
+  kAppBeaconReceived,    ///< beacons delivered to a Beacon app (all senders)
 
   // --- fault injection (sim::FaultController) ---
   kFaultCrashes,       ///< node-crash events applied to this node
@@ -97,6 +100,8 @@ enum class Gauge : std::uint16_t {
   kAodvRouteAcquisitionSeconds,///< discovery start -> first route installed
   kTcpCwnd,                    ///< congestion window sampled at each new ACK
   kAodvRerouteSeconds,         ///< link failure -> replacement route installed
+  kBeaconInterRxSeconds,       ///< gap between consecutive beacons from the same sender
+  kChannelBusyRatio,           ///< fraction of each beacon interval the carrier was busy
   kCount
 };
 

@@ -71,6 +71,13 @@ TEST(ScenarioKeyTest, GatedParametersDoNotLeakIntoKey) {
   b.nakagami_m = 42.0;
   if (!b.use_arp) b.arp.max_retries += 5;
   if (b.routing != core::RoutingType::kAodv) b.aodv.net_diameter += 1;
+  ASSERT_FALSE(b.beacon.enabled);
+  b.beacon.interval = sim::Time::milliseconds(std::int64_t{1});
+  b.beacon.payload_bytes += 100;
+  ASSERT_FALSE(b.blockage.enabled);
+  b.blockage.corner_loss_db += 30.0;
+  ASSERT_NE(b.mac, core::MacType::kEdca);
+  b.edca.ac[0].cw_max += 1;
   EXPECT_EQ(scenario_key(a), scenario_key(b));
 
   // An empty fault plan is bit-identity regardless of its rng_seed.
@@ -114,6 +121,34 @@ TEST(ScenarioKeyTest, EveryKnobChangesKey) {
        [](auto& c) {
          c.faults = sim::FaultPlan{}.blackout(sim::Time::seconds(std::int64_t{3}),
                                               sim::Time::seconds(std::int64_t{1}));
+       }},
+      {"beacon.enabled", [](auto& c) { c.beacon.enabled = true; }},
+      {"beacon.interval",
+       [](auto& c) {
+         c.beacon.enabled = true;
+         c.beacon.interval = sim::Time::milliseconds(std::int64_t{50});
+       }},
+      {"beacon.priority",
+       [](auto& c) {
+         c.beacon.enabled = true;
+         c.beacon.priority = 7;
+       }},
+      {"blockage.enabled", [](auto& c) { c.blockage.enabled = true; }},
+      {"blockage.corner_loss",
+       [](auto& c) {
+         c.blockage.enabled = true;
+         c.blockage.corner_loss_db += 5.0;
+       }},
+      {"nakagami_node_streams",
+       [](auto& c) {
+         c.propagation = core::PropagationType::kNakagami;
+         c.nakagami_node_streams = true;
+       }},
+      {"edca", [](auto& c) { c.mac = core::MacType::kEdca; }},
+      {"edca.cw_min",
+       [](auto& c) {
+         c.mac = core::MacType::kEdca;
+         c.edca.ac[3].cw_min = 1;
        }},
   };
 

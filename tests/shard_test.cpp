@@ -256,6 +256,25 @@ TEST(ShardedTrialTest, MatchesSerialOracleAtEveryShardCount) {
   }
 }
 
+TEST(ShardedTrialTest, NakagamiKeyedPairStreamsMatchSerialOracle) {
+  // With keyed per-pair fade streams every fade is a pure function of
+  // (seed, tx, rx, transmit time) — evaluation order stops mattering, so
+  // the sharded engine (which evaluates only owned pairs) reproduces the
+  // serial Nakagami run exactly.
+  core::ScenarioConfig cfg = equivalence_config();
+  cfg.propagation = core::PropagationType::kNakagami;
+  cfg.nakagami_m = 3.0;
+  cfg.nakagami_node_streams = true;
+  const core::TrialResult serial = core::run_trial(cfg);
+  ASSERT_FALSE(serial.p1_middle.empty()) << "oracle produced no traffic — test is vacuous";
+
+  for (const std::size_t k : {std::size_t{2}, std::size_t{3}}) {
+    SCOPED_TRACE("shards = " + std::to_string(k));
+    const core::TrialResult sharded = core::run_sharded_trial(cfg, k);
+    expect_equivalent(serial, sharded);
+  }
+}
+
 TEST(ShardedTrialTest, WithShardsOneIsBitIdenticalToTheSerialEngine) {
   // No forced RNG streams here: k = 1 must be the untouched legacy path.
   const core::ScenarioConfig cfg = core::ScenarioBuilder::trial3()
@@ -277,9 +296,15 @@ TEST(ShardedTrialTest, WithShardsOneIsBitIdenticalToTheSerialEngine) {
 TEST(ShardedTrialTest, RejectsConfigsTheSeamProtocolCannotReplicate) {
   const core::ScenarioConfig base = equivalence_config();
 
+  // Plain (shared-stream) Nakagami stays rejected: only the keyed
+  // per-pair variant (nakagami_node_streams) is order-independent.
   core::ScenarioConfig nakagami = base;
   nakagami.propagation = core::PropagationType::kNakagami;
   EXPECT_THROW(core::run_sharded_trial(nakagami, 2), std::invalid_argument);
+
+  core::ScenarioConfig beaconing = base;
+  beaconing.beacon.enabled = true;
+  EXPECT_THROW(core::run_sharded_trial(beaconing, 2), std::invalid_argument);
 
   core::ScenarioConfig reactive = base;
   reactive.reactive.enabled = true;

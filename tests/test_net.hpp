@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "mac/edca.hpp"
 #include "mac/mac_80211.hpp"
 #include "mac/mac_tdma.hpp"
 #include "mobility/mobility_model.hpp"
@@ -66,6 +67,16 @@ class TestNet {
                                   mac::Mac80211Params params = {}) {
     auto mac = std::make_unique<mac::Mac80211>(env_, node.id(), phy(node.id()), std::move(ifq),
                                                params);
+    auto* raw = mac.get();
+    node.set_mac(std::move(mac));
+    return *raw;
+  }
+
+  mac::Edca& with_edca(net::Node& node, mac::EdcaParams params = {},
+                       std::size_t ifq_capacity = 50) {
+    auto mac = std::make_unique<mac::Edca>(env_, node.id(), phy(node.id()),
+                                           std::make_unique<queue::PriQueue>(ifq_capacity),
+                                           params);
     auto* raw = mac.get();
     node.set_mac(std::move(mac));
     return *raw;
